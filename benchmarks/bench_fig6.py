@@ -1,0 +1,32 @@
+"""Figure 6: metadata sensitivity analysis (LGESQL + MetaSQL).
+
+Expected shapes, matching the paper:
+- 6a: EM degrades as the classification threshold drops toward -60
+  ("randomised" metadata selection);
+- 6b: correct > none >= incorrect;
+- 6c: EM is relatively stable across hardness settings; oracle >= fixed;
+- 6d: oracle tags > predicted > random (tags are the most sensitive
+  metadata type).
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_metadata_sensitivity(benchmark, ctx, record_result):
+    result = benchmark.pedantic(
+        lambda: fig6.run(ctx), rounds=1, iterations=1
+    )
+    record_result("fig6", result.render())
+
+    # 6a: low thresholds are not better than the default.
+    sweep = result.threshold_sweep
+    assert sweep[-60.0] <= sweep[0.0] + 0.02
+    # 6b: the correctness indicator matters.
+    assert result.correctness["correct"] >= result.correctness["incorrect"]
+    assert result.correctness["correct"] >= result.correctness["none"] - 0.02
+    # 6c: hardness is the least sensitive metadata type.
+    values = [v for k, v in result.hardness.items()]
+    assert max(values) - min(values) < 0.25
+    # 6d: oracle tags dominate; random tags hurt.
+    assert result.tags["oracle"] >= result.tags["predicted"] - 0.02
+    assert result.tags["random"] <= result.tags["oracle"]

@@ -1,0 +1,21 @@
+"""Supplementary design-choice ablations (DESIGN.md §5 extras).
+
+Expected shape: value grounding lifts EX substantially while leaving EM
+untouched (EM ignores literal values); more metadata compositions raise EM
+up to a plateau.
+"""
+
+from repro.experiments import supplementary
+
+
+def test_supplementary_ablations(benchmark, ctx, record_result):
+    result = benchmark.pedantic(
+        lambda: supplementary.run(ctx), rounds=1, iterations=1
+    )
+    record_result("supplementary", result.render())
+
+    on = result.grounding["on"]
+    off = result.grounding["off"]
+    assert on["ex"] >= off["ex"]
+    assert abs(on["em"] - off["em"]) < 0.02  # EM ignores values
+    assert result.budget[4] >= result.budget[1] - 0.02

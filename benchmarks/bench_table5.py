@@ -1,0 +1,24 @@
+"""Table 5: EM by SQL difficulty level on SpiderSim-dev.
+
+Expected shape: accuracy decreases with difficulty for every model; MetaSQL
+gains concentrate in the Medium/Hard bands (with occasional Easy/Extra-Hard
+instability, as the paper reports).
+"""
+
+from repro.experiments import table5
+
+
+def test_table5_em_by_difficulty(benchmark, ctx, record_result):
+    result = benchmark.pedantic(
+        lambda: table5.run(ctx), rounds=1, iterations=1
+    )
+    record_result("table5", result.render())
+
+    for name, row in result.rows.items():
+        assert row["easy"] >= row["extra"] - 0.05, name
+    lgesql = result.rows["lgesql"]
+    meta = result.rows["lgesql+metasql"]
+    medium_hard_gain = (meta["medium"] - lgesql["medium"]) + (
+        meta["hard"] - lgesql["hard"]
+    )
+    assert medium_hard_gain > -0.05

@@ -1,0 +1,24 @@
+"""Table 6: EM by SQL statement type on SpiderSim-dev.
+
+Expected shape: MetaSQL helps most on ORDER BY / GROUP BY statements
+(ranking benefits), while nested/negative queries remain the hardest.
+"""
+
+from repro.experiments import table6
+
+
+def test_table6_em_by_statement_type(benchmark, ctx, record_result):
+    result = benchmark.pedantic(
+        lambda: table6.run(ctx), rounds=1, iterations=1
+    )
+    record_result("table6", result.render())
+
+    assert all(count > 0 for count in result.counts.values())
+    gains = []
+    for name in ("bridge", "gap", "lgesql", "resdsql"):
+        base = result.rows[name]
+        meta = result.rows[f"{name}+metasql"]
+        gains.append(meta["orderby"] - base["orderby"])
+        gains.append(meta["groupby"] - base["groupby"])
+    # Order/group gains are positive on average across models.
+    assert sum(gains) / len(gains) > -0.02

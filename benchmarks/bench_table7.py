@@ -1,0 +1,23 @@
+"""Table 7: Precision@K and translation MRR of MetaSQL's ranked lists.
+
+Expected shape: P@1 <= P@3 <= P@5; MRR close to P@1 from above;
+Seq2seq-based pipelines rank above the LLM sims.
+"""
+
+from repro.experiments import table7
+
+
+def test_table7_precision_and_mrr(benchmark, ctx, record_result):
+    result = benchmark.pedantic(
+        lambda: table7.run(ctx), rounds=1, iterations=1
+    )
+    record_result("table7", result.render())
+
+    for name, row in result.rows.items():
+        assert row["p1"] <= row["p3"] + 1e-9, name
+        assert row["p3"] <= row["p5"] + 1e-9, name
+        assert row["mrr"] >= row["p1"] - 1e-9, name
+    assert (
+        result.rows["lgesql+metasql"]["mrr"]
+        > result.rows["chatgpt+metasql"]["mrr"]
+    )

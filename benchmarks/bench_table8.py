@@ -1,0 +1,20 @@
+"""Table 8: stage-wise accuracy (selection / generation / ranking).
+
+Expected shape: metadata selection accuracy is high (paper: 91.4%);
+conditioned-generation accuracy exceeds each base model's plain EM;
+ranking MRR under oracle metadata exceeds the end-to-end MRR.
+"""
+
+from repro.experiments import table8
+
+
+def test_table8_stagewise_accuracy(benchmark, ctx, record_result):
+    result = benchmark.pedantic(
+        lambda: table8.run(ctx), rounds=1, iterations=1
+    )
+    record_result("table8", result.render())
+
+    assert result.selection_accuracy > 0.6
+    for name, row in result.rows.items():
+        assert 0.0 <= row["generation"] <= 1.0
+        assert row["ranking"] >= row["generation"] * 0.5, name

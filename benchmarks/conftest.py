@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure at full scale, printing
+the measured rows next to the paper's published rows and writing them to
+``benchmarks/results/``.  The experiment context (datasets, fitted models,
+trained pipelines) is cached process-wide, so training costs are paid once
+across the whole suite.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    from repro.experiments.common import get_context
+
+    return get_context(os.environ.get("REPRO_SCALE", "full"))
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, rendered: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}\n")
+
+    return write

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Table-4-style evaluation of one base model with and without MetaSQL.
+
+Run:  python examples/spider_eval.py [model]
+      (model in: bridge gap lgesql resdsql chatgpt gpt4; default lgesql)
+"""
+
+import sys
+
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.data.spider import build_spider
+from repro.eval.evaluate import evaluate_metasql, evaluate_model
+from repro.eval.report import delta, format_table, pct
+from repro.models.registry import create_model
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "lgesql"
+    print("Building SpiderSim ...")
+    benchmark = build_spider(train_per_domain=90, dev_per_domain=18)
+
+    print(f"Fitting {model_name} ...")
+    model = create_model(model_name)
+    model.fit(benchmark.train)
+    base = evaluate_model(model, benchmark.dev)
+
+    print("Training MetaSQL ...")
+    pipeline = MetaSQL(model, MetaSQLConfig(ranker_train_questions=300))
+    pipeline.train(benchmark.train, fit_base_model=True)
+    meta = evaluate_metasql(pipeline, benchmark.dev)
+
+    rows = [
+        [model_name, pct(base.em), pct(base.ex), "-", "-"],
+        [
+            f"{model_name}+metasql",
+            pct(meta.em),
+            pct(meta.ex),
+            delta(meta.em, base.em),
+            delta(meta.ex, base.ex),
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["model", "EM%", "EX%", "dEM", "dEX"],
+            rows,
+            title=f"SpiderSim-dev results (n={len(benchmark.dev)})",
+        )
+    )
+
+    print("\nEM by difficulty:")
+    base_h = base.em_by_hardness()
+    meta_h = meta.em_by_hardness()
+    print(
+        format_table(
+            ["model", "easy", "medium", "hard", "extra"],
+            [
+                [model_name] + [pct(base_h[l]) for l in base_h],
+                [f"{model_name}+metasql"] + [pct(meta_h[l]) for l in meta_h],
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Fill EXPERIMENTS.md placeholders from benchmarks/results/*.txt.
+
+Run after ``pytest benchmarks/ --benchmark-only`` so the recorded document
+always matches the latest measured tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+PLACEHOLDERS = {
+    "PLACEHOLDER_TABLE4": "table4.txt",
+    "PLACEHOLDER_TABLE5": "table5.txt",
+    "PLACEHOLDER_TABLE6": "table6.txt",
+    "PLACEHOLDER_TABLE7": "table7.txt",
+    "PLACEHOLDER_TABLE8": "table8.txt",
+    "PLACEHOLDER_TABLE9": "table9.txt",
+    "PLACEHOLDER_FIG6": "fig6.txt",
+    "PLACEHOLDER_SUPPLEMENTARY": "supplementary.txt",
+}
+
+
+def main() -> None:
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    for placeholder, filename in PLACEHOLDERS.items():
+        result_file = RESULTS / filename
+        if result_file.exists():
+            block = "```\n" + result_file.read_text().strip() + "\n```"
+        else:
+            block = f"*(missing: run `pytest benchmarks/` to produce {filename})*"
+        text = text.replace(placeholder, block)
+    experiments.write_text(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; this setup.py lets ``pip install -e .`` take the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MetaSQL: a generate-then-rank framework for NL2SQL translation "
+        "(ICDE 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

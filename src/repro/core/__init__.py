@@ -1,0 +1,6 @@
+"""MetaSQL core: metadata, classifier, conditioned generation, ranking."""
+
+from repro.core.metadata import QueryMetadata, extract_metadata
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+
+__all__ = ["QueryMetadata", "extract_metadata", "MetaSQL", "MetaSQLConfig"]

@@ -1,0 +1,106 @@
+"""Metadata composition sampling (Section III-B2).
+
+MetaSQL does not condition on arbitrary label subsets: it "selectively
+composes these labels by considering combinations observed in the training
+data".  The composer indexes every (tag-set, rating) pair seen during
+training; at inference it returns the observed combinations compatible with
+the classifier's predicted labels, each as a full
+:class:`~repro.core.metadata.QueryMetadata` condition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.metadata import CORRECT, QueryMetadata, extract_metadata
+from repro.data.dataset import Dataset
+
+
+@dataclass
+class ComposerConfig:
+    """Knobs for composition enumeration."""
+
+    max_compositions: int = 8
+    #: tolerance between an observed combo's rating and a predicted rating.
+    rating_window: int = 200
+
+
+class MetadataComposer:
+    """Enumerates metadata conditions compatible with predicted labels."""
+
+    def __init__(self, config: ComposerConfig | None = None) -> None:
+        self.config = config or ComposerConfig()
+        self._combos: Counter[tuple[frozenset[str], int]] = Counter()
+        self._tagsets: Counter[frozenset[str]] = Counter()
+
+    def fit(self, train: Dataset) -> "MetadataComposer":
+        """Index every (tag-set, rating) combination seen in training."""
+        for example in train.examples:
+            meta = extract_metadata(example.sql)
+            self._combos[(meta.tags, meta.rating)] += 1
+            self._tagsets[meta.tags] += 1
+        return self
+
+    @property
+    def observed_combinations(self) -> list[tuple[frozenset[str], int]]:
+        """All observed combinations, most frequent first."""
+        return [combo for combo, __ in self._combos.most_common()]
+
+    def compose(
+        self,
+        tags: set[str],
+        ratings: list[int],
+        correctness: str = CORRECT,
+    ) -> list[QueryMetadata]:
+        """Observed combinations compatible with the predicted labels.
+
+        A combination is compatible when its tag-set is a subset of the
+        predicted tags and its rating lies within ``rating_window`` of some
+        predicted rating.  Results are ordered by (a) how much of the
+        predicted tag evidence they use and (b) training frequency.
+        """
+        predicted = frozenset(tags) | {"project"}
+        candidates: list[tuple[float, QueryMetadata]] = []
+        for (combo_tags, combo_rating), frequency in self._combos.items():
+            if not combo_tags <= predicted:
+                continue
+            distance = min(
+                (abs(combo_rating - r) for r in ratings), default=0
+            )
+            if ratings and distance > self.config.rating_window:
+                continue
+            coverage = len(combo_tags) / max(len(predicted), 1)
+            score = 2.0 * coverage - distance / 400.0 + 0.1 * frequency**0.25
+            candidates.append(
+                (
+                    score,
+                    QueryMetadata(
+                        tags=combo_tags,
+                        rating=combo_rating,
+                        correctness=correctness,
+                    ),
+                )
+            )
+        candidates.sort(key=lambda item: (-item[0], item[1].rating))
+        seen: set[tuple[frozenset[str], int]] = set()
+        compositions: list[QueryMetadata] = []
+        for __, meta in candidates:
+            key = (meta.tags, meta.rating)
+            if key in seen:
+                continue
+            seen.add(key)
+            compositions.append(meta)
+            if len(compositions) >= self.config.max_compositions:
+                break
+        return compositions
+
+    def all_compositions(self, limit: int | None = None) -> list[QueryMetadata]:
+        """Every observed combination (the w/o-classifier ablation)."""
+        combos = self.observed_combinations
+        if limit is not None:
+            combos = combos[:limit]
+        return [
+            QueryMetadata(tags=tags, rating=rating, correctness=CORRECT)
+            for tags, rating in combos
+        ]

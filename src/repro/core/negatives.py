@@ -1,0 +1,55 @@
+"""Negative-sample collection (Section III-B1).
+
+The paper gathers erroneous translations on the training set and tags them
+``incorrect`` to augment both the translation model's metadata training and
+the rankers' supervision.  Here negatives are produced the same way the
+trained model would produce them: decoding under the ``incorrect``
+correctness indicator (which the augmented model has learned to associate
+with wrong parses) and keeping outputs that do not exactly match gold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metadata import INCORRECT, extract_metadata
+from repro.data.dataset import Dataset, Example
+from repro.models.base import TranslationModel
+from repro.sqlkit.ast import Query
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.printer import to_sql
+
+
+def collect_negative_samples(
+    model: TranslationModel,
+    train: Dataset,
+    max_examples: int = 200,
+    per_example: int = 2,
+    seed: int = 31,
+) -> list[tuple[Example, Query]]:
+    """Erroneous (example, wrong_query) pairs from *model* on *train*.
+
+    Decodes each sampled training question under its gold metadata with the
+    correctness indicator flipped to ``incorrect``; any decoded query that
+    is not an exact match of gold becomes a negative sample.
+    """
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(train.examples))[:max_examples]
+    negatives: list[tuple[Example, Query]] = []
+    for raw_index in indices:
+        example = train.examples[int(raw_index)]
+        db = train.database(example.db_id)
+        metadata = extract_metadata(example.sql, correctness=INCORRECT)
+        candidates = model.translate(
+            example.question, db, metadata=metadata, beam_size=per_example
+        )
+        seen: set[str] = set()
+        for candidate in candidates:
+            if exact_match(candidate.query, example.sql):
+                continue
+            key = to_sql(candidate.query)
+            if key in seen:
+                continue
+            seen.add(key)
+            negatives.append((example, candidate.query))
+    return negatives

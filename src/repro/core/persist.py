@@ -1,0 +1,337 @@
+"""Persistence: save and load trained MetaSQL pipelines.
+
+``save_pipeline`` writes every learned component to a directory —
+the base model's lexicon/sketch statistics (and demonstration pool for LLM
+sims), the multi-label classifier, the composition index and both ranking
+stages — as JSON plus one ``weights.npz``.  ``load_pipeline`` restores a
+pipeline that translates identically to the saved one, without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.core.classifier import _ClassifierNet
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.data.dataset import Example
+from repro.models.llm import FewShotLLM
+from repro.models.lexicon import Lexicon
+from repro.models.registry import MODEL_PRESETS
+from repro.models.sketch import Sketch, SketchModel
+from repro.nn.encoder import EncoderTower
+from repro.nn.text import TextFeaturizer
+from repro.sqlkit.parser import parse_sql
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Sketch (de)serialisation.
+
+
+def _sketch_to_json(sketch: Sketch) -> dict:
+    return {
+        "shape": sketch.shape,
+        "n_tables": sketch.n_tables,
+        "n_select": sketch.n_select,
+        "select_aggs": list(sketch.select_aggs),
+        "count_star": sketch.count_star,
+        "distinct": sketch.distinct,
+        "n_predicates": sketch.n_predicates,
+        "predicate_kinds": list(sketch.predicate_kinds),
+        "has_or": sketch.has_or,
+        "has_group": sketch.has_group,
+        "has_having": sketch.has_having,
+        "order": sketch.order,
+        "limit": sketch.limit,
+        "order_on_agg": sketch.order_on_agg,
+        "has_arith": sketch.has_arith,
+    }
+
+
+def _sketch_from_json(data: dict) -> Sketch:
+    return Sketch(
+        shape=data["shape"],
+        n_tables=data["n_tables"],
+        n_select=data["n_select"],
+        select_aggs=tuple(data["select_aggs"]),
+        count_star=data["count_star"],
+        distinct=data["distinct"],
+        n_predicates=data["n_predicates"],
+        predicate_kinds=tuple(data["predicate_kinds"]),
+        has_or=data["has_or"],
+        has_group=data["has_group"],
+        has_having=data["has_having"],
+        order=data["order"],
+        limit=data["limit"],
+        order_on_agg=data["order_on_agg"],
+        has_arith=data.get("has_arith", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Model components.
+
+
+def _lexicon_to_json(lexicon: Lexicon) -> dict:
+    return {
+        "smoothing": lexicon.smoothing,
+        "pair_counts": {
+            element: dict(counter)
+            for element, counter in lexicon._pair_counts.items()
+        },
+        "element_counts": dict(lexicon._element_counts),
+        "token_counts": dict(lexicon._token_counts),
+        "total": lexicon._total_examples,
+    }
+
+
+def _lexicon_from_json(data: dict) -> Lexicon:
+    lexicon = Lexicon(smoothing=data["smoothing"])
+    lexicon._pair_counts = defaultdict(
+        Counter,
+        {e: Counter(c) for e, c in data["pair_counts"].items()},
+    )
+    lexicon._element_counts = Counter(data["element_counts"])
+    lexicon._token_counts = Counter(data["token_counts"])
+    lexicon._total_examples = data["total"]
+    return lexicon
+
+
+def _sketch_model_to_json(model: SketchModel) -> dict:
+    signatures = []
+    facet_records = []
+    for sketch, count in model._signatures.items():
+        signatures.append({"sketch": _sketch_to_json(sketch), "count": count})
+    for (facet, value), counter in model._facet_token_counts.items():
+        facet_records.append(
+            {
+                "facet": facet,
+                "value": _json_value(value),
+                "tokens": dict(counter),
+                "total": model._facet_token_totals[(facet, value)],
+                "count": model._facet_value_counts[facet][value],
+            }
+        )
+    return {
+        "smoothing": model.smoothing,
+        "signatures": signatures,
+        "facets": facet_records,
+        "vocab": sorted(model._vocab),
+        "total": model._total,
+    }
+
+
+def _json_value(value):
+    if isinstance(value, tuple):
+        return {"__tuple__": list(value)}
+    return value
+
+
+def _value_from_json(value):
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(value["__tuple__"])
+    return value
+
+
+def _sketch_model_from_json(data: dict) -> SketchModel:
+    model = SketchModel(smoothing=data["smoothing"])
+    for record in data["signatures"]:
+        model._signatures[_sketch_from_json(record["sketch"])] = record["count"]
+    for record in data["facets"]:
+        key = (record["facet"], _value_from_json(record["value"]))
+        model._facet_token_counts[key] = Counter(record["tokens"])
+        model._facet_token_totals[key] = record["total"]
+        model._facet_value_counts[record["facet"]][key[1]] = record["count"]
+    model._vocab = set(data["vocab"])
+    model._total = data["total"]
+    return model
+
+
+# ----------------------------------------------------------------------
+# Tensors / towers.
+
+
+def _collect_tower(weights: dict, prefix: str, tower: EncoderTower) -> None:
+    weights[f"{prefix}.hidden.weight"] = tower.hidden.weight.data
+    weights[f"{prefix}.hidden.bias"] = tower.hidden.bias.data
+    weights[f"{prefix}.output.weight"] = tower.output.weight.data
+    weights[f"{prefix}.output.bias"] = tower.output.bias.data
+
+
+def _restore_tower(weights, prefix: str, tower: EncoderTower) -> None:
+    tower.hidden.weight.data = weights[f"{prefix}.hidden.weight"]
+    tower.hidden.bias.data = weights[f"{prefix}.hidden.bias"]
+    tower.output.weight.data = weights[f"{prefix}.output.weight"]
+    tower.output.bias.data = weights[f"{prefix}.output.bias"]
+
+
+def _collect_mlp(weights: dict, prefix: str, mlp) -> None:
+    for index, layer in enumerate(mlp.layers):
+        weights[f"{prefix}.{index}.weight"] = layer.weight.data
+        weights[f"{prefix}.{index}.bias"] = layer.bias.data
+
+
+def _restore_mlp(weights, prefix: str, mlp) -> None:
+    for index, layer in enumerate(mlp.layers):
+        layer.weight.data = weights[f"{prefix}.{index}.weight"]
+        layer.bias.data = weights[f"{prefix}.{index}.bias"]
+
+
+# ----------------------------------------------------------------------
+# Public API.
+
+
+def save_pipeline(pipeline: MetaSQL, directory: str | pathlib.Path) -> None:
+    """Persist every learned component of *pipeline* under *directory*."""
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    model = pipeline.model
+    weights: dict[str, np.ndarray] = {}
+
+    manifest = {
+        "version": FORMAT_VERSION,
+        "model_name": model.name,
+        "model_is_llm": isinstance(model, FewShotLLM),
+        "metadata_trained": model.metadata_trained,
+    }
+
+    # Base model statistics.
+    model_state = {
+        "lexicon": _lexicon_to_json(model.lexicon),
+        "sketch_model": _sketch_model_to_json(model.sketch_model),
+    }
+    if isinstance(model, FewShotLLM):
+        model_state["pool"] = [
+            {"question": e.question, "query": e.sql_text, "db_id": e.db_id}
+            for e in model._pool
+        ]
+        weights["llm.featurizer.idf"] = model._featurizer._idf
+    (root / "model.json").write_text(json.dumps(model_state))
+
+    # Classifier.
+    classifier = pipeline.classifier
+    classifier_state = {
+        "labels": [_json_value(label) for label in classifier._labels],
+        "buckets": classifier.config.buckets,
+    }
+    weights["classifier.featurizer.idf"] = classifier._featurizer._idf
+    _collect_mlp_like_classifier(weights, classifier)
+    (root / "classifier.json").write_text(json.dumps(classifier_state))
+
+    # Composer.
+    composer_state = [
+        {"tags": sorted(tags), "rating": rating, "count": count}
+        for (tags, rating), count in pipeline.composer._combos.items()
+    ]
+    (root / "composer.json").write_text(json.dumps(composer_state))
+
+    # Stage 1.
+    weights["stage1.featurizer.idf"] = pipeline.stage1._featurizer._idf
+    _collect_tower(weights, "stage1.query", pipeline.stage1._query_tower)
+    _collect_tower(weights, "stage1.sql", pipeline.stage1._sql_tower)
+
+    # Stage 2.
+    _collect_mlp(weights, "stage2.coarse", pipeline.stage2._coarse_head)
+    _collect_mlp(weights, "stage2.fine", pipeline.stage2._fine_head)
+
+    (root / "manifest.json").write_text(json.dumps(manifest))
+    np.savez(root / "weights.npz", **weights)
+
+
+def _collect_mlp_like_classifier(weights, classifier) -> None:
+    net = classifier._net
+    weights["classifier.hidden.weight"] = net.hidden.weight.data
+    weights["classifier.hidden.bias"] = net.hidden.bias.data
+    weights["classifier.output.weight"] = net.output.weight.data
+    weights["classifier.output.bias"] = net.output.bias.data
+
+
+def load_pipeline(
+    directory: str | pathlib.Path, config: MetaSQLConfig | None = None
+) -> MetaSQL:
+    """Restore a pipeline saved by :func:`save_pipeline`."""
+    root = pathlib.Path(directory)
+    manifest = json.loads((root / "manifest.json").read_text())
+    if manifest["version"] != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pipeline format version {manifest['version']}"
+        )
+    weights = np.load(root / "weights.npz")
+
+    model = MODEL_PRESETS[manifest["model_name"]]()
+    model_state = json.loads((root / "model.json").read_text())
+    model.lexicon = _lexicon_from_json(model_state["lexicon"])
+    model.sketch_model = _sketch_model_from_json(model_state["sketch_model"])
+    model.metadata_trained = manifest["metadata_trained"]
+    model._fitted = True
+    if isinstance(model, FewShotLLM):
+        model._pool = [
+            Example(
+                question=record["question"],
+                sql=parse_sql(record["query"]),
+                db_id=record["db_id"],
+            )
+            for record in model_state["pool"]
+        ]
+        model._featurizer._idf = weights["llm.featurizer.idf"]
+        model._pool_matrix = model._featurizer.transform_many(
+            [e.question for e in model._pool]
+        )
+        model.metadata_trained = True
+
+    pipeline = MetaSQL(model, config or MetaSQLConfig())
+
+    # Classifier.
+    classifier_state = json.loads((root / "classifier.json").read_text())
+    classifier = pipeline.classifier
+    classifier._labels = [
+        _value_from_json(label) for label in classifier_state["labels"]
+    ]
+    classifier._label_index = {
+        label: i for i, label in enumerate(classifier._labels)
+    }
+    classifier._featurizer = TextFeaturizer(
+        buckets=classifier_state["buckets"]
+    )
+    classifier._featurizer._idf = weights["classifier.featurizer.idf"]
+    rng = np.random.default_rng(0)
+    classifier._net = _ClassifierNet(
+        weights["classifier.hidden.weight"].shape[0],
+        len(classifier._labels),
+        rng,
+    )
+    classifier._net.hidden.weight.data = weights["classifier.hidden.weight"]
+    classifier._net.hidden.bias.data = weights["classifier.hidden.bias"]
+    classifier._net.output.weight.data = weights["classifier.output.weight"]
+    classifier._net.output.bias.data = weights["classifier.output.bias"]
+
+    # Composer.
+    for record in json.loads((root / "composer.json").read_text()):
+        key = (frozenset(record["tags"]), record["rating"])
+        pipeline.composer._combos[key] = record["count"]
+        pipeline.composer._tagsets[key[0]] += record["count"]
+
+    # Stage 1.
+    stage1 = pipeline.stage1
+    stage1._featurizer._idf = weights["stage1.featurizer.idf"]
+    stage1._query_tower = EncoderTower(
+        stage1._featurizer, stage1.config.embed_dim, rng, hidden_dim=128
+    )
+    stage1._sql_tower = EncoderTower(
+        stage1._featurizer, stage1.config.embed_dim, rng, hidden_dim=128
+    )
+    _restore_tower(weights, "stage1.query", stage1._query_tower)
+    _restore_tower(weights, "stage1.sql", stage1._sql_tower)
+
+    # Stage 2.
+    _restore_mlp(weights, "stage2.coarse", pipeline.stage2._coarse_head)
+    _restore_mlp(weights, "stage2.fine", pipeline.stage2._fine_head)
+    pipeline.stage2._fitted = True
+
+    pipeline._trained = True
+    return pipeline

@@ -1,0 +1,304 @@
+"""The MetaSQL pipeline (Fig. 2): decompose -> generate -> rank.
+
+``MetaSQL`` wraps any :class:`~repro.models.base.TranslationModel`:
+
+1. **train** — metadata-augment and fit the base model (Seq2seq only),
+   fit the multi-label metadata classifier and the composition index, then
+   generate candidate sets over a training subsample to supervise the
+   two ranking stages (clause-similarity targets vs gold).
+2. **translate** — classify metadata labels, compose conditions observed in
+   training, generate one small beam per condition, ground placeholder
+   values, first-stage-prune to 10 candidates, second-stage-rank, return
+   the top query (or the full ranked list).
+
+Ablation flags reproduce Table 9: ``use_classifier=False`` conditions on
+*all* observed compositions; ``use_stage2=False`` stops after the
+first-stage ranker; ``phrase_supervision=False`` removes the fine-grained
+losses from stage-2 training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classifier import ClassifierConfig, MetadataClassifier
+from repro.core.compose import ComposerConfig, MetadataComposer
+from repro.core.generation import (
+    CandidateGenerator,
+    GeneratedCandidate,
+    GeneratorConfig,
+)
+from repro.core.metadata import QueryMetadata, extract_metadata
+from repro.core.rank_stage1 import (
+    DualTowerRanker,
+    RankingTriple,
+    Stage1Config,
+    sql_surface,
+)
+from repro.core.rank_stage2 import (
+    ListItem,
+    MultiGrainedRanker,
+    RankingList,
+    Stage2Config,
+)
+from repro.core.similarity import similarity_score, similarity_unit
+from repro.data.dataset import Dataset
+from repro.models.base import TranslationModel
+from repro.schema.database import Database
+from repro.sqlkit.ast import Query
+from repro.sqlkit.printer import to_sql
+from repro.sqlkit.sql2nl import unit_phrases
+
+
+@dataclass
+class MetaSQLConfig:
+    """Pipeline configuration (defaults follow Section IV-A2/3)."""
+
+    classification_threshold: float = 0.0  # p in the paper, Fig. 6a sweeps it
+    first_stage_top: int = 10  # L = 10
+    ranker_train_questions: int = 400  # subsample for ranker supervision
+    use_classifier: bool = True  # Table 9 ablation
+    use_stage2: bool = True  # Table 9 ablation
+    phrase_supervision: bool = True  # Table 9 ablation
+    negative_samples: int = 120  # Section III-B1 augmentation for rankers
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    composer: ComposerConfig = field(default_factory=ComposerConfig)
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    stage1: Stage1Config = field(default_factory=Stage1Config)
+    stage2: Stage2Config = field(default_factory=Stage2Config)
+    seed: int = 20240501
+
+
+@dataclass(frozen=True)
+class RankedTranslation:
+    """One ranked output of the pipeline."""
+
+    query: Query
+    stage1_score: float
+    stage2_score: float
+    metadata: QueryMetadata | None
+
+    @property
+    def sql(self) -> str:
+        return to_sql(self.query)
+
+
+class MetaSQL:
+    """Generate-then-rank framework around a base translation model."""
+
+    def __init__(
+        self,
+        model: TranslationModel,
+        config: MetaSQLConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or MetaSQLConfig()
+        self.config.stage2.phrase_supervision = self.config.phrase_supervision
+        self.classifier = MetadataClassifier(self.config.classifier)
+        self.composer = MetadataComposer(self.config.composer)
+        self.generator = CandidateGenerator(model, self.config.generator)
+        self.stage1 = DualTowerRanker(self.config.stage1)
+        self.stage2 = MultiGrainedRanker(self.config.stage2)
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Training.
+
+    def train(self, train: Dataset, fit_base_model: bool = True) -> "MetaSQL":
+        """Train every stage of the pipeline on *train*."""
+        if fit_base_model:
+            # Metadata-augmented supervised training (Seq2seq models);
+            # LLM sims index demonstrations instead and always honour
+            # prompt metadata.
+            self.model.fit(train, with_metadata=True)
+        self.classifier.fit(train)
+        self.composer.fit(train)
+        self._fit_rankers(train)
+        self._trained = True
+        return self
+
+    def _fit_rankers(self, train: Dataset) -> None:
+        rng = np.random.default_rng(self.config.seed)
+        count = min(self.config.ranker_train_questions, len(train.examples))
+        indices = rng.permutation(len(train.examples))[:count]
+
+        triples: list[RankingTriple] = []
+        lists: list[RankingList] = []
+        for raw_index in indices:
+            example = train.examples[int(raw_index)]
+            db = train.database(example.db_id)
+            schema = db.schema
+            compositions = self._compositions_for(example.question, db)
+            candidates = self.generator.generate(
+                example.question, db, compositions
+            )
+            items: list[ListItem] = []
+            seen_gold = False
+            for candidate in candidates:
+                unit_target = similarity_unit(candidate.query, example.sql)
+                target10 = similarity_score(candidate.query, example.sql)
+                if target10 >= 9.99:
+                    seen_gold = True
+                surface = sql_surface(candidate.query, schema)
+                triples.append(
+                    RankingTriple(
+                        question=example.question,
+                        sql_text=surface,
+                        target=unit_target,
+                    )
+                )
+                items.append(
+                    ListItem(
+                        surface=surface,
+                        phrases=tuple(unit_phrases(candidate.query, schema)),
+                        target=target10,
+                    )
+                )
+            if not seen_gold:
+                # Positive sample from the benchmark itself (Section III-C1).
+                surface = sql_surface(example.sql, schema)
+                triples.append(
+                    RankingTriple(
+                        question=example.question,
+                        sql_text=surface,
+                        target=1.0,
+                    )
+                )
+                items.append(
+                    ListItem(
+                        surface=surface,
+                        phrases=tuple(unit_phrases(example.sql, schema)),
+                        target=10.0,
+                    )
+                )
+            if len(items) >= 2:
+                ordered = tuple(
+                    sorted(items, key=lambda item: -item.target)[
+                        : self.config.stage2.list_size
+                    ]
+                )
+                lists.append(
+                    RankingList(question=example.question, items=ordered)
+                )
+        triples.extend(self._negative_triples(train))
+        self.stage1.fit(triples)
+        if self.config.use_stage2:
+            self.stage2.fit(lists)
+
+    def _negative_triples(self, train: Dataset) -> list[RankingTriple]:
+        """Extra stage-1 negatives from incorrect-conditioned decoding.
+
+        Implements the paper's Section III-B1 augmentation: erroneous
+        translations collected on the training set supervise the rankers as
+        low-similarity pairs.
+        """
+        if self.config.negative_samples <= 0 or not self.model.metadata_trained:
+            return []
+        from repro.core.negatives import collect_negative_samples
+
+        triples: list[RankingTriple] = []
+        negatives = collect_negative_samples(
+            self.model,
+            train,
+            max_examples=self.config.negative_samples,
+            seed=self.config.seed + 1,
+        )
+        for example, wrong_query in negatives:
+            schema = train.schema(example.db_id)
+            triples.append(
+                RankingTriple(
+                    question=example.question,
+                    sql_text=sql_surface(wrong_query, schema),
+                    target=similarity_unit(wrong_query, example.sql),
+                )
+            )
+        return triples
+
+    # ------------------------------------------------------------------
+    # Inference.
+
+    def _compositions_for(
+        self, question: str, db: Database
+    ) -> list[QueryMetadata]:
+        if not self.config.use_classifier:
+            return self.composer.all_compositions(
+                limit=self.config.composer.max_compositions * 3
+            )
+        tags, ratings = self.classifier.predict(
+            question, db, threshold=self.config.classification_threshold
+        )
+        compositions = self.composer.compose(tags, ratings)
+        if not compositions:
+            compositions = self.composer.all_compositions(limit=4)
+        return compositions
+
+    def candidates(
+        self,
+        question: str,
+        db: Database,
+        compositions: list[QueryMetadata] | None = None,
+    ) -> list[GeneratedCandidate]:
+        """The metadata-conditioned candidate set for *question*."""
+        if compositions is None:
+            compositions = self._compositions_for(question, db)
+        return self.generator.generate(question, db, compositions)
+
+    def translate_ranked(
+        self,
+        question: str,
+        db: Database,
+        compositions: list[QueryMetadata] | None = None,
+    ) -> list[RankedTranslation]:
+        """Full two-stage ranking; returns translations best-first."""
+        if not self._trained:
+            raise RuntimeError("MetaSQL pipeline is not trained")
+        generated = self.candidates(question, db, compositions)
+        if not generated:
+            return []
+        schema = db.schema
+        surfaces = [sql_surface(c.query, schema) for c in generated]
+        pruned = self.stage1.rank(
+            question, surfaces, top_k=self.config.first_stage_top
+        )
+        ranked: list[RankedTranslation] = []
+        if self.config.use_stage2:
+            stage2_input = [
+                (
+                    surfaces[index],
+                    tuple(unit_phrases(generated[index].query, schema)),
+                )
+                for index, __ in pruned
+            ]
+            stage2_ranked = self.stage2.rank(question, stage2_input)
+            for position, score in stage2_ranked:
+                index, stage1_score = pruned[position]
+                candidate = generated[index]
+                ranked.append(
+                    RankedTranslation(
+                        query=candidate.query,
+                        stage1_score=stage1_score,
+                        stage2_score=score,
+                        metadata=candidate.metadata,
+                    )
+                )
+        else:
+            for index, stage1_score in pruned:
+                candidate = generated[index]
+                ranked.append(
+                    RankedTranslation(
+                        query=candidate.query,
+                        stage1_score=stage1_score,
+                        stage2_score=stage1_score,
+                        metadata=candidate.metadata,
+                    )
+                )
+        return ranked
+
+    def translate(self, question: str, db: Database) -> Query | None:
+        """Best translation for *question*, or None."""
+        ranked = self.translate_ranked(question, db)
+        if not ranked:
+            return None
+        return ranked[0].query

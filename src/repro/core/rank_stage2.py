@@ -1,0 +1,213 @@
+"""Second-stage ranking: multi-grained listwise cross-encoder (Section III-C2).
+
+The paper's second stage is a cross-encoder (RoBERTa over the joint NL/SQL
+input) with multi-grained supervision.  Our substrate replaces the
+transformer with explicit cross-modal *alignment features*
+(:mod:`repro.core.align`) feeding two learned heads:
+
+- the **coarse head** scores sentence-level alignment features -> ``y_G``,
+- the **fine head** scores each SQL-unit phrase's alignment features; the
+  mean phrase score is the local score ``y_L``.
+
+Training follows the paper's multi-scale loss: global MSE + listwise
+NeuralNDCG on ``y_G`` (Eq. 2), the NL-to-phrase local loss on ``y_L``
+(Eq. 3), and a phrase triplet (hinge) loss pushing mismatched phrases of
+negative candidates below matched phrases of positives (Eq. 4).  Inference
+ranks by ``y_G + y_L`` (Eq. 5).
+
+``phrase_supervision=False`` reproduces the Table 9 ablation: the local and
+triplet losses are removed from training, leaving the fine head at its
+random initialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.align import (
+    PHRASE_FEATURE_DIM,
+    SENTENCE_FEATURE_DIM,
+    phrase_features,
+    sentence_features,
+)
+from repro.nn.autograd import Tensor
+from repro.nn.layers import MLP
+from repro.nn.losses import neural_ndcg_loss
+from repro.nn.optim import Adam
+
+
+@dataclass(frozen=True)
+class ListItem:
+    """One candidate in a ranking list."""
+
+    surface: str  # sentence-level text (SQL + description)
+    phrases: tuple[str, ...]  # unit-level phrases
+    target: float  # similarity score in [0, 10]
+
+
+@dataclass(frozen=True)
+class RankingList:
+    """One listwise training instance."""
+
+    question: str
+    items: tuple[ListItem, ...]
+
+
+@dataclass
+class Stage2Config:
+    """Training hyper-parameters of the multi-grained re-ranker."""
+    epochs: int = 12
+    learning_rate: float = 5e-3
+    list_size: int = 10
+    ndcg_weight: float = 0.6
+    triplet_weight: float = 0.4
+    triplet_margin: float = 1.0
+    phrase_supervision: bool = True
+    seed: int = 987
+
+
+class MultiGrainedRanker:
+    """Listwise re-ranker with sentence- and phrase-level supervision."""
+
+    def __init__(self, config: Stage2Config | None = None) -> None:
+        self.config = config or Stage2Config()
+        rng = np.random.default_rng(self.config.seed)
+        self._coarse_head = MLP([SENTENCE_FEATURE_DIM, 16, 1], rng)
+        self._fine_head = MLP([PHRASE_FEATURE_DIM, 16, 1], rng)
+        self._losses: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Feature extraction (cached per list during training).
+
+    @staticmethod
+    def _list_features(
+        ranking: RankingList,
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        sentence = np.stack(
+            [
+                sentence_features(ranking.question, item.surface, item.phrases)
+                for item in ranking.items
+            ]
+        )
+        per_phrase = [
+            np.stack(
+                [
+                    phrase_features(ranking.question, phrase)
+                    for phrase in (item.phrases or (item.surface,))
+                ]
+            )
+            for item in ranking.items
+        ]
+        return sentence, per_phrase
+
+    # ------------------------------------------------------------------
+
+    def fit(self, lists: list[RankingList]) -> "MultiGrainedRanker":
+        """Train the heads with the paper's multi-scale listwise losses."""
+        if not lists:
+            raise ValueError("stage-2 ranker needs training lists")
+        rng = np.random.default_rng(self.config.seed)
+        prepared = []
+        for ranking in lists:
+            items = ranking.items[: self.config.list_size]
+            if len(items) < 2:
+                continue
+            trimmed = RankingList(question=ranking.question, items=items)
+            targets = np.array([item.target for item in items])
+            prepared.append((self._list_features(trimmed), targets))
+
+        params = self._coarse_head.parameters()
+        if self.config.phrase_supervision:
+            params = params + self._fine_head.parameters()
+        optimizer = Adam(params, lr=self.config.learning_rate)
+
+        self._losses = []
+        for __ in range(self.config.epochs):
+            order = rng.permutation(len(prepared))
+            epoch_loss, count = 0.0, 0
+            for index in order:
+                (sentence, per_phrase), targets = prepared[int(index)]
+                loss = self._list_loss(sentence, per_phrase, targets)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                count += 1
+            self._losses.append(epoch_loss / max(count, 1))
+        self._fitted = True
+        return self
+
+    def _list_loss(
+        self,
+        sentence: np.ndarray,
+        per_phrase: list[np.ndarray],
+        targets: np.ndarray,
+    ) -> Tensor:
+        y_global = self._coarse_head(Tensor(sentence)).reshape(-1)
+        diff = y_global - Tensor(targets)
+        loss = (diff * diff).mean()
+        loss = loss + self.config.ndcg_weight * neural_ndcg_loss(
+            y_global * 0.1, targets * 0.3, tau=0.5
+        )
+        if not self.config.phrase_supervision:
+            return loss
+
+        local_scores = []
+        phrase_score_tensors = []
+        for features in per_phrase:
+            scores = self._fine_head(Tensor(features)).reshape(-1)
+            phrase_score_tensors.append(scores)
+            local_scores.append(scores.mean())
+        y_local = Tensor.stack(local_scores)
+        local_diff = y_local - Tensor(targets)
+        loss = loss + (local_diff * local_diff).mean()
+        loss = loss + self.config.ndcg_weight * neural_ndcg_loss(
+            y_local * 0.1, targets * 0.3, tau=0.5
+        )
+
+        # Phrase triplet (hinge): the worst candidate's phrases should score
+        # below the best candidate's phrases by a margin.
+        order = np.argsort(-targets)
+        best, worst = int(order[0]), int(order[-1])
+        if targets[best] - targets[worst] >= 2.0:
+            positive = phrase_score_tensors[best].mean()
+            negative = phrase_score_tensors[worst].mean()
+            hinge = (
+                negative - positive + self.config.triplet_margin
+            ).clip_min(0.0)
+            loss = loss + self.config.triplet_weight * hinge
+        return loss
+
+    # ------------------------------------------------------------------
+
+    def score(
+        self, question: str, surface: str, phrases: tuple[str, ...]
+    ) -> float:
+        """Inference score ``y_G + y_L`` (Eq. 5)."""
+        sentence = sentence_features(question, surface, phrases)
+        y_global = float(self._coarse_head(Tensor(sentence)).numpy()[0])
+        features = np.stack(
+            [phrase_features(question, p) for p in (phrases or (surface,))]
+        )
+        phrase_scores = self._fine_head(Tensor(features)).numpy().reshape(-1)
+        return y_global + float(phrase_scores.mean())
+
+    def rank(
+        self,
+        question: str,
+        candidates: list[tuple[str, tuple[str, ...]]],
+    ) -> list[tuple[int, float]]:
+        """Rank (surface, phrases) candidates, best first."""
+        scored = [
+            (index, self.score(question, surface, phrases))
+            for index, (surface, phrases) in enumerate(candidates)
+        ]
+        scored.sort(key=lambda item: -item[1])
+        return scored
+
+    def training_losses(self) -> list[float]:
+        """Per-epoch training losses (for convergence checks)."""
+        return list(self._losses)

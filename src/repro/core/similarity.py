@@ -1,0 +1,142 @@
+"""Clause-wise NL/SQL semantic-similarity scores for ranker supervision.
+
+The ranking models train on triples ``(q, s, y)`` where ``y`` measures how
+similar candidate ``s`` is to the gold SQL of ``q`` (Section II-B): the gold
+query scores 10; otherwise each differing clause applies a penalty until the
+score reaches 0.  ``similarity_unit`` returns the same quantity on a [0, 1]
+scale for the first-stage (cosine) ranker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sqlkit.ast import Query, SelectQuery, SetQuery
+from repro.sqlkit.compare import (
+    _expr_key,
+    _predicate_key,
+)
+from repro.sqlkit.normalize import normalize
+
+#: Penalty (on the 0..10 scale) per differing clause component.
+CLAUSE_PENALTIES = {
+    "select": 2.0,
+    "from": 2.0,
+    "where": 2.0,
+    "group": 1.5,
+    "having": 1.5,
+    "order": 1.0,
+    "limit": 0.5,
+    "setop": 2.5,
+    "nested": 2.0,
+}
+
+
+def similarity_score(candidate: Query, gold: Query) -> float:
+    """Semantic similarity of *candidate* to *gold* on the paper's 0..10 scale."""
+    penalty = _query_penalty(normalize(candidate), normalize(gold))
+    return max(0.0, 10.0 - penalty)
+
+
+def similarity_unit(candidate: Query, gold: Query) -> float:
+    """Similarity on a [0, 1] scale (first-stage ranker target)."""
+    return similarity_score(candidate, gold) / 10.0
+
+
+def _query_penalty(candidate: Query, gold: Query) -> float:
+    if isinstance(candidate, SetQuery) or isinstance(gold, SetQuery):
+        if isinstance(candidate, SetQuery) != isinstance(gold, SetQuery):
+            base = candidate if isinstance(candidate, SelectQuery) else candidate.left
+            gold_base = gold if isinstance(gold, SelectQuery) else gold.left
+            return CLAUSE_PENALTIES["setop"] + _query_penalty(
+                _as_select(base), _as_select(gold_base)
+            )
+        penalty = 0.0
+        if candidate.op != gold.op:
+            penalty += CLAUSE_PENALTIES["setop"]
+        penalty += _query_penalty(candidate.left, gold.left)
+        penalty += _query_penalty(candidate.right, gold.right)
+        return penalty
+    return _select_penalty(candidate, gold)
+
+
+def _as_select(query: Query) -> SelectQuery:
+    while isinstance(query, SetQuery):
+        query = query.left
+    return query
+
+
+def _set_mismatch(left: Counter, right: Counter) -> int:
+    return sum((left - right).values()) + sum((right - left).values())
+
+
+def _select_penalty(candidate: SelectQuery, gold: SelectQuery) -> float:
+    penalty = 0.0
+
+    cand_select = Counter(_expr_key(e) for e in candidate.select)
+    gold_select = Counter(_expr_key(e) for e in gold.select)
+    # One penalty step per mismatched select pair (symmetric difference / 2).
+    penalty += (
+        CLAUSE_PENALTIES["select"]
+        * min(_set_mismatch(cand_select, gold_select), 4)
+        / 2.0
+    )
+    penalty += (
+        0.0
+        if candidate.distinct == gold.distinct
+        else CLAUSE_PENALTIES["select"] / 4.0
+    )
+
+    cand_tables = Counter(candidate.from_.tables)
+    gold_tables = Counter(gold.from_.tables)
+    if (candidate.from_.subquery is None) != (gold.from_.subquery is None):
+        penalty += CLAUSE_PENALTIES["nested"]
+    elif candidate.from_.subquery is not None and gold.from_.subquery is not None:
+        penalty += _query_penalty(candidate.from_.subquery, gold.from_.subquery)
+    else:
+        penalty += CLAUSE_PENALTIES["from"] * min(
+            _set_mismatch(cand_tables, gold_tables), 2
+        ) / 2.0
+
+    penalty += _condition_penalty(candidate, gold, "where")
+    penalty += _condition_penalty(candidate, gold, "having")
+
+    cand_group = Counter(c.key() for c in candidate.group_by)
+    gold_group = Counter(c.key() for c in gold.group_by)
+    if cand_group != gold_group:
+        penalty += CLAUSE_PENALTIES["group"]
+
+    cand_order = [(_expr_key(i.expr), i.desc) for i in candidate.order_by]
+    gold_order = [(_expr_key(i.expr), i.desc) for i in gold.order_by]
+    if cand_order != gold_order:
+        penalty += CLAUSE_PENALTIES["order"]
+    if (candidate.limit is None) != (gold.limit is None) or (
+        candidate.limit is not None and candidate.limit != gold.limit
+    ):
+        penalty += CLAUSE_PENALTIES["limit"]
+    return penalty
+
+
+def _condition_penalty(
+    candidate: SelectQuery, gold: SelectQuery, clause: str
+) -> float:
+    cand_cond = getattr(candidate, clause)
+    gold_cond = getattr(gold, clause)
+    if cand_cond is None and gold_cond is None:
+        return 0.0
+    if (cand_cond is None) != (gold_cond is None):
+        return CLAUSE_PENALTIES[clause]
+    cand_keys = Counter(_predicate_key(p) for p in cand_cond.predicates)
+    gold_keys = Counter(_predicate_key(p) for p in gold_cond.predicates)
+    mismatched = _set_mismatch(cand_keys, gold_keys)
+    penalty = CLAUSE_PENALTIES[clause] * mismatched / 2.0
+    if Counter(cand_cond.connectors) != Counter(gold_cond.connectors):
+        penalty += CLAUSE_PENALTIES[clause] / 4.0
+    # Nested subqueries compared recursively (greedy pairing).
+    cand_subs = [p.right for p in cand_cond.predicates if p.has_subquery]
+    gold_subs = [p.right for p in gold_cond.predicates if p.has_subquery]
+    for cand_sub, gold_sub in zip(cand_subs, gold_subs):
+        penalty += 0.5 * _query_penalty(cand_sub, gold_sub)
+    if len(cand_subs) != len(gold_subs):
+        penalty += CLAUSE_PENALTIES["nested"]
+    return penalty

@@ -1,0 +1,12 @@
+"""Synthetic benchmark substrate.
+
+Builds Spider-like and ScienceBenchmark-like corpora: multi-table domain
+schemas with populated rows, a stratified SQL query sampler, and a rule-based
+NL question renderer with seeded paraphrase noise.
+"""
+
+from repro.data.dataset import Benchmark, Dataset, Example
+from repro.data.sciencebench import build_sciencebenchmark
+from repro.data.spider import build_spider
+
+__all__ = ["Example", "Dataset", "Benchmark", "build_spider", "build_sciencebenchmark"]

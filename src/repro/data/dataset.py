@@ -1,0 +1,85 @@
+"""Dataset containers: examples, per-database splits and whole benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.database import Database
+from repro.schema.schema import Schema
+from repro.sqlkit.ast import Query
+from repro.sqlkit.hardness import Hardness, hardness_level, hardness_rating
+from repro.sqlkit.printer import to_sql
+
+
+@dataclass(frozen=True)
+class Example:
+    """One NL/SQL pair bound to a database."""
+
+    question: str
+    sql: Query
+    db_id: str
+
+    @property
+    def sql_text(self) -> str:
+        return to_sql(self.sql)
+
+    @property
+    def hardness(self) -> Hardness:
+        return hardness_level(self.sql)
+
+    @property
+    def rating(self) -> int:
+        return hardness_rating(self.sql)
+
+
+@dataclass
+class Dataset:
+    """A list of examples plus the databases they reference."""
+
+    name: str
+    examples: list[Example]
+    databases: dict[str, Database]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    def schema(self, db_id: str) -> Schema:
+        return self.databases[db_id].schema
+
+    def database(self, db_id: str) -> Database:
+        return self.databases[db_id]
+
+    def by_hardness(self) -> dict[Hardness, list[Example]]:
+        buckets: dict[Hardness, list[Example]] = {h: [] for h in Hardness}
+        for example in self.examples:
+            buckets[example.hardness].append(example)
+        return buckets
+
+    def subset(self, predicate) -> "Dataset":
+        """A new dataset view keeping only examples matching *predicate*."""
+        return Dataset(
+            name=self.name,
+            examples=[e for e in self.examples if predicate(e)],
+            databases=self.databases,
+        )
+
+
+@dataclass
+class Benchmark:
+    """Train/dev splits sharing a database collection."""
+
+    name: str
+    train: Dataset
+    dev: Dataset
+
+    def summary(self) -> str:
+        train_h = {h.value: len(v) for h, v in self.train.by_hardness().items()}
+        dev_h = {h.value: len(v) for h, v in self.dev.by_hardness().items()}
+        return (
+            f"{self.name}: train={len(self.train)} {train_h} "
+            f"dev={len(self.dev)} {dev_h} "
+            f"databases={len(self.train.databases)}"
+        )

@@ -1,0 +1,1417 @@
+"""Domain schema specifications and the database builder.
+
+Each :class:`DomainSpec` declares tables, typed columns with value
+generators, NL phrases/synonyms and foreign keys.  ``build_domain``
+instantiates a populated :class:`~repro.schema.database.Database`
+deterministically from a seed.
+
+The catalog below provides 25 Spider-like cross-domain schemas covering the
+patterns the paper's examples revolve around (pets, world countries, cars,
+concerts, ...), used by :mod:`repro.data.spider`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import values as V
+from repro.schema.database import Database
+from repro.schema.schema import NUMBER, TEXT, Column, ForeignKey, Schema, Table
+
+# ----------------------------------------------------------------------
+# Specification DSL.
+
+
+@dataclass(frozen=True)
+class ColSpec:
+    """Column specification: type, value generator and NL annotations.
+
+    ``value`` forms:
+      ("pk",)                     sequential integer primary key
+      ("fk", table, column)       sample from the parent column's values
+      ("pool", tuple_of_values)   draw from a fixed pool
+      ("name",)                   synthetic person name
+      ("int", lo, hi)             uniform integer
+      ("float", lo, hi)           uniform float rounded to 1 decimal
+      ("year", lo, hi)            uniform year
+    """
+
+    name: str
+    ctype: str = TEXT
+    value: tuple = ("pool", V.CITIES)
+    phrase: str | None = None
+    synonyms: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    name: str
+    columns: tuple[ColSpec, ...]
+    rows: int = 24
+    phrase: str | None = None
+    synonyms: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    db_id: str
+    tables: tuple[TableSpec, ...]
+    fks: tuple[tuple[str, str, str, str], ...] = ()
+
+
+def build_domain(spec: DomainSpec, seed: int) -> Database:
+    """Instantiate a populated database from *spec* deterministically."""
+    rng = np.random.default_rng(seed)
+    tables = tuple(
+        Table(
+            name=t.name,
+            columns=tuple(
+                Column(
+                    name=c.name,
+                    ctype=c.ctype,
+                    phrase=c.phrase,
+                    synonyms=c.synonyms,
+                )
+                for c in t.columns
+            ),
+            phrase=t.phrase,
+            synonyms=t.synonyms,
+        )
+        for t in spec.tables
+    )
+    fks = tuple(ForeignKey(*fk) for fk in spec.fks)
+    schema = Schema(db_id=spec.db_id, tables=tables, foreign_keys=fks)
+    db = Database(schema)
+
+    generated: dict[tuple[str, str], list[object]] = {}
+    for table_spec in spec.tables:
+        rows = []
+        for row_index in range(table_spec.rows):
+            row: dict[str, object] = {}
+            for col_spec in table_spec.columns:
+                row[col_spec.name] = _make_value(
+                    col_spec, row_index, generated, rng
+                )
+            rows.append(row)
+        db.insert_many(table_spec.name, rows)
+        for col_spec in table_spec.columns:
+            generated[(table_spec.name.lower(), col_spec.name.lower())] = [
+                r[col_spec.name] for r in rows
+            ]
+    return db
+
+
+def _make_value(
+    col: ColSpec,
+    row_index: int,
+    generated: dict[tuple[str, str], list[object]],
+    rng: np.random.Generator,
+) -> object:
+    kind = col.value[0]
+    if kind == "pk":
+        return row_index + 1
+    if kind == "fk":
+        parent = generated.get((col.value[1].lower(), col.value[2].lower()))
+        if not parent:
+            raise ValueError(
+                f"fk column {col.name} references unbuilt {col.value[1]}"
+            )
+        return parent[int(rng.integers(len(parent)))]
+    if kind == "pool":
+        return V.sample(col.value[1], rng)
+    if kind == "name":
+        return V.person_name(rng)
+    if kind == "int":
+        return int(rng.integers(col.value[1], col.value[2] + 1))
+    if kind == "float":
+        return round(float(rng.uniform(col.value[1], col.value[2])), 1)
+    if kind == "year":
+        return int(rng.integers(col.value[1], col.value[2] + 1))
+    raise ValueError(f"unknown value spec: {col.value}")
+
+
+# ----------------------------------------------------------------------
+# Spider-like domain catalog.
+
+
+def _pets_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="pets",
+        tables=(
+            TableSpec(
+                "student",
+                (
+                    ColSpec("stuid", NUMBER, ("pk",), phrase="student id"),
+                    ColSpec("lname", TEXT, ("pool", V.PERSON_LAST),
+                            phrase="last name", synonyms=("family name",)),
+                    ColSpec("fname", TEXT, ("pool", V.PERSON_FIRST),
+                            phrase="first name"),
+                    ColSpec("age", NUMBER, ("int", 17, 27)),
+                    ColSpec("major", TEXT, ("pool", V.MAJORS),
+                            synonyms=("field of study",)),
+                    ColSpec("city_code", TEXT, ("pool", V.CITIES),
+                            phrase="home city"),
+                ),
+                rows=30,
+                phrase="student",
+                synonyms=("pupil",),
+            ),
+            TableSpec(
+                "has_pet",
+                (
+                    ColSpec("stuid", NUMBER, ("fk", "student", "stuid"),
+                            phrase="student id"),
+                    ColSpec("petid", NUMBER, ("pk",), phrase="pet id"),
+                ),
+                rows=26,
+                phrase="pet ownership",
+            ),
+            TableSpec(
+                "pets",
+                (
+                    ColSpec("petid", NUMBER, ("pk",), phrase="pet id"),
+                    ColSpec("pettype", TEXT, ("pool", V.PET_TYPES),
+                            phrase="pet type", synonyms=("kind of pet",)),
+                    ColSpec("pet_age", NUMBER, ("int", 1, 14),
+                            phrase="pet age"),
+                    ColSpec("weight", NUMBER, ("float", 1, 40)),
+                ),
+                rows=26,
+                phrase="pet",
+                synonyms=("animal",),
+            ),
+        ),
+        fks=(
+            ("has_pet", "stuid", "student", "stuid"),
+            ("has_pet", "petid", "pets", "petid"),
+        ),
+    )
+
+
+def _world_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="world",
+        tables=(
+            TableSpec(
+                "country",
+                (
+                    ColSpec("code", TEXT, ("pool", V.COUNTRIES),
+                            phrase="country code"),
+                    ColSpec("name", TEXT, ("pool", V.COUNTRIES),
+                            phrase="country name"),
+                    ColSpec("continent", TEXT, ("pool", V.CONTINENTS)),
+                    ColSpec("population", NUMBER, ("int", 100000, 90000000)),
+                    ColSpec("surfacearea", NUMBER, ("int", 1000, 900000),
+                            phrase="surface area", synonyms=("area",)),
+                ),
+                rows=20,
+                phrase="country",
+                synonyms=("nation",),
+            ),
+            TableSpec(
+                "countrylanguage",
+                (
+                    ColSpec("countrycode", TEXT, ("fk", "country", "code"),
+                            phrase="country code"),
+                    ColSpec("language", TEXT, ("pool", V.LANGUAGES),
+                            synonyms=("tongue",)),
+                    ColSpec("isofficial", TEXT, ("pool", ("T", "F")),
+                            phrase="official status"),
+                    ColSpec("percentage", NUMBER, ("float", 0.5, 100.0),
+                            phrase="speaking percentage"),
+                ),
+                rows=40,
+                phrase="country language",
+                synonyms=("spoken language",),
+            ),
+            TableSpec(
+                "city",
+                (
+                    ColSpec("city_id", NUMBER, ("pk",), phrase="city id"),
+                    ColSpec("name", TEXT, ("pool", V.CITIES),
+                            phrase="city name"),
+                    ColSpec("countrycode", TEXT, ("fk", "country", "code"),
+                            phrase="country code"),
+                    ColSpec("population", NUMBER, ("int", 5000, 9000000)),
+                ),
+                rows=34,
+                phrase="city",
+                synonyms=("town",),
+            ),
+        ),
+        fks=(
+            ("countrylanguage", "countrycode", "country", "code"),
+            ("city", "countrycode", "country", "code"),
+        ),
+    )
+
+
+def _cars_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="cars",
+        tables=(
+            TableSpec(
+                "car_makers",
+                (
+                    ColSpec("maker_id", NUMBER, ("pk",), phrase="maker id"),
+                    ColSpec("maker", TEXT, ("pool", V.MAKERS),
+                            phrase="maker name", synonyms=("manufacturer",)),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                ),
+                rows=14,
+                phrase="car maker",
+                synonyms=("manufacturer",),
+            ),
+            TableSpec(
+                "model_list",
+                (
+                    ColSpec("model_id", NUMBER, ("pk",), phrase="model id"),
+                    ColSpec("maker_id", NUMBER, ("fk", "car_makers", "maker_id"),
+                            phrase="maker id"),
+                    ColSpec("model", TEXT, ("pool", (
+                        "falcon", "orbit", "strada", "lumen", "vector",
+                        "canyon", "breeze", "apex", "terra", "comet",
+                    )), phrase="model name"),
+                ),
+                rows=26,
+                phrase="car model",
+            ),
+            TableSpec(
+                "cars_data",
+                (
+                    ColSpec("car_id", NUMBER, ("pk",), phrase="car id"),
+                    ColSpec("model_id", NUMBER, ("fk", "model_list", "model_id"),
+                            phrase="model id"),
+                    ColSpec("mpg", NUMBER, ("float", 10, 45),
+                            phrase="miles per gallon", synonyms=("fuel economy",)),
+                    ColSpec("horsepower", NUMBER, ("int", 60, 400)),
+                    ColSpec("weight", NUMBER, ("int", 1600, 5200)),
+                    ColSpec("year", NUMBER, ("year", 1970, 1995),
+                            phrase="production year"),
+                ),
+                rows=40,
+                phrase="car",
+                synonyms=("vehicle", "automobile"),
+            ),
+        ),
+        fks=(
+            ("model_list", "maker_id", "car_makers", "maker_id"),
+            ("cars_data", "model_id", "model_list", "model_id"),
+        ),
+    )
+
+
+def _concerts_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="concert_singer",
+        tables=(
+            TableSpec(
+                "singer",
+                (
+                    ColSpec("singer_id", NUMBER, ("pk",), phrase="singer id"),
+                    ColSpec("name", TEXT, ("name",), phrase="singer name"),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                    ColSpec("age", NUMBER, ("int", 18, 65)),
+                    ColSpec("genre", TEXT, ("pool", V.GENRES),
+                            synonyms=("music style",)),
+                ),
+                rows=24,
+                phrase="singer",
+                synonyms=("vocalist", "artist"),
+            ),
+            TableSpec(
+                "stadium",
+                (
+                    ColSpec("stadium_id", NUMBER, ("pk",), phrase="stadium id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "North Arena", "Harbor Field", "Sunset Dome",
+                        "Union Grounds", "Central Bowl", "Lakeside Park",
+                        "Granite Hall", "Meadow Court",
+                    )), phrase="stadium name"),
+                    ColSpec("capacity", NUMBER, ("int", 2000, 80000)),
+                    ColSpec("city", TEXT, ("pool", V.CITIES)),
+                ),
+                rows=12,
+                phrase="stadium",
+                synonyms=("venue", "arena"),
+            ),
+            TableSpec(
+                "concert",
+                (
+                    ColSpec("concert_id", NUMBER, ("pk",), phrase="concert id"),
+                    ColSpec("singer_id", NUMBER, ("fk", "singer", "singer_id"),
+                            phrase="singer id"),
+                    ColSpec("stadium_id", NUMBER, ("fk", "stadium", "stadium_id"),
+                            phrase="stadium id"),
+                    ColSpec("year", NUMBER, ("year", 2010, 2023),
+                            phrase="concert year"),
+                    ColSpec("attendance", NUMBER, ("int", 500, 70000)),
+                ),
+                rows=34,
+                phrase="concert",
+                synonyms=("show", "performance"),
+            ),
+        ),
+        fks=(
+            ("concert", "singer_id", "singer", "singer_id"),
+            ("concert", "stadium_id", "stadium", "stadium_id"),
+        ),
+    )
+
+
+def _employees_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="company",
+        tables=(
+            TableSpec(
+                "department",
+                (
+                    ColSpec("dept_id", NUMBER, ("pk",), phrase="department id"),
+                    ColSpec("dept_name", TEXT, ("pool", V.DEPARTMENTS),
+                            phrase="department name", synonyms=("division",)),
+                    ColSpec("budget", NUMBER, ("int", 100000, 5000000)),
+                ),
+                rows=10,
+                phrase="department",
+                synonyms=("division",),
+            ),
+            TableSpec(
+                "employee",
+                (
+                    ColSpec("emp_id", NUMBER, ("pk",), phrase="employee id"),
+                    ColSpec("name", TEXT, ("name",), phrase="employee name"),
+                    ColSpec("dept_id", NUMBER, ("fk", "department", "dept_id"),
+                            phrase="department id"),
+                    ColSpec("salary", NUMBER, ("int", 30000, 180000),
+                            synonyms=("pay", "wage")),
+                    ColSpec("age", NUMBER, ("int", 21, 64)),
+                    ColSpec("city", TEXT, ("pool", V.CITIES),
+                            phrase="home city"),
+                ),
+                rows=40,
+                phrase="employee",
+                synonyms=("worker", "staff member"),
+            ),
+            TableSpec(
+                "evaluation",
+                (
+                    ColSpec("eval_id", NUMBER, ("pk",), phrase="evaluation id"),
+                    ColSpec("emp_id", NUMBER, ("fk", "employee", "emp_id"),
+                            phrase="employee id"),
+                    ColSpec("year", NUMBER, ("year", 2015, 2023),
+                            phrase="evaluation year"),
+                    ColSpec("bonus", NUMBER, ("int", 0, 30000),
+                            synonyms=("one time bonus",)),
+                ),
+                rows=36,
+                phrase="evaluation",
+                synonyms=("review",),
+            ),
+        ),
+        fks=(
+            ("employee", "dept_id", "department", "dept_id"),
+            ("evaluation", "emp_id", "employee", "emp_id"),
+        ),
+    )
+
+
+def _flights_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="flights",
+        tables=(
+            TableSpec(
+                "airline",
+                (
+                    ColSpec("airline_id", NUMBER, ("pk",), phrase="airline id"),
+                    ColSpec("name", TEXT, ("pool", V.AIRLINES),
+                            phrase="airline name", synonyms=("carrier",)),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES),
+                            phrase="home country"),
+                ),
+                rows=10,
+                phrase="airline",
+                synonyms=("carrier",),
+            ),
+            TableSpec(
+                "airport",
+                (
+                    ColSpec("airport_code", TEXT, ("pool", (
+                        "ANB", "BRX", "CLD", "DRW", "ELM", "FRV", "GTN",
+                        "HBR", "KNG", "LKW", "MDS", "NWP",
+                    )), phrase="airport code"),
+                    ColSpec("city", TEXT, ("pool", V.CITIES)),
+                    ColSpec("elevation", NUMBER, ("int", 0, 2500)),
+                ),
+                rows=12,
+                phrase="airport",
+            ),
+            TableSpec(
+                "flight",
+                (
+                    ColSpec("flight_id", NUMBER, ("pk",), phrase="flight id"),
+                    ColSpec("airline_id", NUMBER, ("fk", "airline", "airline_id"),
+                            phrase="airline id"),
+                    ColSpec("source", TEXT, ("fk", "airport", "airport_code"),
+                            phrase="source airport", synonyms=("origin",)),
+                    ColSpec("destination", TEXT,
+                            ("fk", "airport", "airport_code"),
+                            phrase="destination airport"),
+                    ColSpec("distance", NUMBER, ("int", 120, 9000)),
+                    ColSpec("price", NUMBER, ("int", 60, 1500),
+                            synonyms=("fare", "cost")),
+                ),
+                rows=44,
+                phrase="flight",
+            ),
+        ),
+        fks=(
+            ("flight", "airline_id", "airline", "airline_id"),
+            ("flight", "source", "airport", "airport_code"),
+        ),
+    )
+
+
+def _college_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="college",
+        tables=(
+            TableSpec(
+                "college",
+                (
+                    ColSpec("cname", TEXT, ("pool", V.INSTITUTION_NAMES),
+                            phrase="college name"),
+                    ColSpec("state", TEXT, ("pool", V.CITIES)),
+                    ColSpec("enrollment", NUMBER, ("int", 2000, 45000),
+                            synonyms=("enrolment", "student count")),
+                ),
+                rows=10,
+                phrase="college",
+                synonyms=("school", "university"),
+            ),
+            TableSpec(
+                "player",
+                (
+                    ColSpec("pid", NUMBER, ("pk",), phrase="player id"),
+                    ColSpec("pname", TEXT, ("name",), phrase="player name"),
+                    ColSpec("ycard", TEXT, ("pool", ("yes", "no")),
+                            phrase="yellow card status"),
+                    ColSpec("hs", NUMBER, ("int", 200, 1800),
+                            phrase="training hours",
+                            synonyms=("hours spent training",)),
+                ),
+                rows=34,
+                phrase="player",
+                synonyms=("athlete",),
+            ),
+            TableSpec(
+                "tryout",
+                (
+                    ColSpec("pid", NUMBER, ("fk", "player", "pid"),
+                            phrase="player id"),
+                    ColSpec("cname", TEXT, ("fk", "college", "cname"),
+                            phrase="college name"),
+                    ColSpec("ppos", TEXT, ("pool", (
+                        "goalie", "striker", "midfielder", "defender",
+                    )), phrase="position"),
+                    ColSpec("decision", TEXT, ("pool", ("yes", "no")),
+                            phrase="tryout decision"),
+                ),
+                rows=38,
+                phrase="tryout",
+            ),
+        ),
+        fks=(
+            ("tryout", "pid", "player", "pid"),
+            ("tryout", "cname", "college", "cname"),
+        ),
+    )
+
+
+def _orchestra_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="orchestra",
+        tables=(
+            TableSpec(
+                "conductor",
+                (
+                    ColSpec("conductor_id", NUMBER, ("pk",),
+                            phrase="conductor id"),
+                    ColSpec("name", TEXT, ("name",), phrase="conductor name"),
+                    ColSpec("nationality", TEXT, ("pool", V.COUNTRIES)),
+                    ColSpec("year_of_work", NUMBER, ("int", 1, 40),
+                            phrase="years of work"),
+                ),
+                rows=14,
+                phrase="conductor",
+                synonyms=("maestro",),
+            ),
+            TableSpec(
+                "orchestra",
+                (
+                    ColSpec("orchestra_id", NUMBER, ("pk",),
+                            phrase="orchestra id"),
+                    ColSpec("orchestra_name", TEXT, ("pool", (
+                        "Riverton Philharmonic", "Civic Symphony",
+                        "Chamber Players", "Festival Orchestra",
+                        "Radio Symphony", "Youth Orchestra",
+                        "Opera House Orchestra", "Baroque Ensemble",
+                    )), phrase="orchestra name"),
+                    ColSpec("conductor_id", NUMBER,
+                            ("fk", "conductor", "conductor_id"),
+                            phrase="conductor id"),
+                    ColSpec("year_founded", NUMBER, ("year", 1880, 2005),
+                            phrase="founding year"),
+                ),
+                rows=16,
+                phrase="orchestra",
+                synonyms=("ensemble",),
+            ),
+            TableSpec(
+                "performance",
+                (
+                    ColSpec("performance_id", NUMBER, ("pk",),
+                            phrase="performance id"),
+                    ColSpec("orchestra_id", NUMBER,
+                            ("fk", "orchestra", "orchestra_id"),
+                            phrase="orchestra id"),
+                    ColSpec("type", TEXT, ("pool", (
+                        "symphony", "concerto", "overture", "suite",
+                    )), phrase="performance type"),
+                    ColSpec("attendance", NUMBER, ("int", 150, 3200)),
+                ),
+                rows=30,
+                phrase="performance",
+            ),
+        ),
+        fks=(
+            ("orchestra", "conductor_id", "conductor", "conductor_id"),
+            ("performance", "orchestra_id", "orchestra", "orchestra_id"),
+        ),
+    )
+
+
+def _tvshow_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="tvshow",
+        tables=(
+            TableSpec(
+                "tv_channel",
+                (
+                    ColSpec("channel_id", NUMBER, ("pk",), phrase="channel id"),
+                    ColSpec("series_name", TEXT, ("pool", (
+                        "Channel One", "Metro TV", "Blue Screen", "Nova",
+                        "Skyline", "Pulse", "Horizon TV", "Vista",
+                    )), phrase="channel name"),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                    ColSpec("language", TEXT, ("pool", V.LANGUAGES)),
+                ),
+                rows=10,
+                phrase="TV channel",
+                synonyms=("network",),
+            ),
+            TableSpec(
+                "tv_series",
+                (
+                    ColSpec("series_id", NUMBER, ("pk",), phrase="series id"),
+                    ColSpec("title", TEXT, ("pool", V.SHOW_TITLES),
+                            phrase="series title", synonyms=("show name",)),
+                    ColSpec("channel_id", NUMBER,
+                            ("fk", "tv_channel", "channel_id"),
+                            phrase="channel id"),
+                    ColSpec("rating", NUMBER, ("float", 1.0, 9.9)),
+                    ColSpec("episodes", NUMBER, ("int", 6, 120),
+                            phrase="episode count"),
+                ),
+                rows=26,
+                phrase="TV series",
+                synonyms=("show", "program"),
+            ),
+        ),
+        fks=(("tv_series", "channel_id", "tv_channel", "channel_id"),),
+    )
+
+
+def _museum_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="museum_visit",
+        tables=(
+            TableSpec(
+                "museum",
+                (
+                    ColSpec("museum_id", NUMBER, ("pk",), phrase="museum id"),
+                    ColSpec("name", TEXT, ("pool", V.MUSEUM_NAMES),
+                            phrase="museum name"),
+                    ColSpec("num_of_staff", NUMBER, ("int", 4, 120),
+                            phrase="staff count"),
+                    ColSpec("open_year", NUMBER, ("year", 1860, 2015),
+                            phrase="opening year"),
+                ),
+                rows=10,
+                phrase="museum",
+            ),
+            TableSpec(
+                "visitor",
+                (
+                    ColSpec("visitor_id", NUMBER, ("pk",), phrase="visitor id"),
+                    ColSpec("name", TEXT, ("name",), phrase="visitor name"),
+                    ColSpec("age", NUMBER, ("int", 6, 80)),
+                    ColSpec("level_of_membership", NUMBER, ("int", 1, 8),
+                            phrase="membership level"),
+                ),
+                rows=26,
+                phrase="visitor",
+                synonyms=("guest",),
+            ),
+            TableSpec(
+                "visit",
+                (
+                    ColSpec("museum_id", NUMBER, ("fk", "museum", "museum_id"),
+                            phrase="museum id"),
+                    ColSpec("visitor_id", NUMBER,
+                            ("fk", "visitor", "visitor_id"),
+                            phrase="visitor id"),
+                    ColSpec("num_of_ticket", NUMBER, ("int", 1, 8),
+                            phrase="ticket count"),
+                    ColSpec("total_spent", NUMBER, ("float", 5, 400),
+                            phrase="total spending"),
+                ),
+                rows=36,
+                phrase="visit",
+            ),
+        ),
+        fks=(
+            ("visit", "museum_id", "museum", "museum_id"),
+            ("visit", "visitor_id", "visitor", "visitor_id"),
+        ),
+    )
+
+
+def _battles_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="battle_death",
+        tables=(
+            TableSpec(
+                "battle",
+                (
+                    ColSpec("battle_id", NUMBER, ("pk",), phrase="battle id"),
+                    ColSpec("name", TEXT, ("pool", V.BATTLE_NAMES),
+                            phrase="battle name"),
+                    ColSpec("date_year", NUMBER, ("year", 1700, 1900),
+                            phrase="battle year"),
+                    ColSpec("result", TEXT, ("pool", (
+                        "victory", "defeat", "draw",
+                    )), phrase="battle result"),
+                ),
+                rows=12,
+                phrase="battle",
+            ),
+            TableSpec(
+                "ship",
+                (
+                    ColSpec("ship_id", NUMBER, ("pk",), phrase="ship id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Resolute", "Dawn Star", "Iron Gull", "Sea Fox",
+                        "Tempest", "Vigilant", "Wanderer", "Meridian",
+                    )), phrase="ship name"),
+                    ColSpec("lost_in_battle", NUMBER,
+                            ("fk", "battle", "battle_id"),
+                            phrase="battle where lost"),
+                    ColSpec("tonnage", NUMBER, ("int", 200, 4000)),
+                ),
+                rows=22,
+                phrase="ship",
+                synonyms=("vessel",),
+            ),
+            TableSpec(
+                "death",
+                (
+                    ColSpec("caused_by_ship_id", NUMBER, ("fk", "ship", "ship_id"),
+                            phrase="ship id"),
+                    ColSpec("killed", NUMBER, ("int", 0, 600)),
+                    ColSpec("injured", NUMBER, ("int", 0, 900)),
+                ),
+                rows=24,
+                phrase="casualty record",
+            ),
+        ),
+        fks=(
+            ("ship", "lost_in_battle", "battle", "battle_id"),
+            ("death", "caused_by_ship_id", "ship", "ship_id"),
+        ),
+    )
+
+
+def _dorms_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="dorm",
+        tables=(
+            TableSpec(
+                "dorm",
+                (
+                    ColSpec("dormid", NUMBER, ("pk",), phrase="dorm id"),
+                    ColSpec("dorm_name", TEXT, ("pool", (
+                        "Maple Hall", "Cedar House", "Willow Court",
+                        "Elm Lodge", "Aspen Hall", "Birch House",
+                    )), phrase="dorm name"),
+                    ColSpec("student_capacity", NUMBER, ("int", 40, 600),
+                            phrase="capacity"),
+                    ColSpec("gender", TEXT, ("pool", ("male", "female", "mixed"))),
+                ),
+                rows=8,
+                phrase="dorm",
+                synonyms=("dormitory", "residence hall"),
+            ),
+            TableSpec(
+                "lives_in",
+                (
+                    ColSpec("stuid", NUMBER, ("int", 1, 40),
+                            phrase="student id"),
+                    ColSpec("dormid", NUMBER, ("fk", "dorm", "dormid"),
+                            phrase="dorm id"),
+                    ColSpec("room_number", NUMBER, ("int", 100, 499)),
+                ),
+                rows=34,
+                phrase="residence record",
+            ),
+        ),
+        fks=(("lives_in", "dormid", "dorm", "dormid"),),
+    )
+
+
+def _library_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="library",
+        tables=(
+            TableSpec(
+                "author",
+                (
+                    ColSpec("author_id", NUMBER, ("pk",), phrase="author id"),
+                    ColSpec("name", TEXT, ("name",), phrase="author name"),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                ),
+                rows=16,
+                phrase="author",
+                synonyms=("writer",),
+            ),
+            TableSpec(
+                "book",
+                (
+                    ColSpec("book_id", NUMBER, ("pk",), phrase="book id"),
+                    ColSpec("title", TEXT, ("pool", V.SHOW_TITLES),
+                            phrase="book title"),
+                    ColSpec("author_id", NUMBER, ("fk", "author", "author_id"),
+                            phrase="author id"),
+                    ColSpec("year", NUMBER, ("year", 1950, 2022),
+                            phrase="publication year"),
+                    ColSpec("pages", NUMBER, ("int", 80, 900),
+                            phrase="page count"),
+                ),
+                rows=30,
+                phrase="book",
+                synonyms=("novel", "title"),
+            ),
+            TableSpec(
+                "loan",
+                (
+                    ColSpec("loan_id", NUMBER, ("pk",), phrase="loan id"),
+                    ColSpec("book_id", NUMBER, ("fk", "book", "book_id"),
+                            phrase="book id"),
+                    ColSpec("member_name", TEXT, ("name",),
+                            phrase="member name"),
+                    ColSpec("days_kept", NUMBER, ("int", 1, 60),
+                            phrase="days kept"),
+                ),
+                rows=36,
+                phrase="loan",
+                synonyms=("borrowing",),
+            ),
+        ),
+        fks=(
+            ("book", "author_id", "author", "author_id"),
+            ("loan", "book_id", "book", "book_id"),
+        ),
+    )
+
+
+def _restaurant_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="restaurants",
+        tables=(
+            TableSpec(
+                "restaurant",
+                (
+                    ColSpec("rest_id", NUMBER, ("pk",), phrase="restaurant id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Blue Plate", "Harvest Table", "Corner Bistro",
+                        "Sea Salt", "The Copper Pot", "Garden Cafe",
+                        "Night Market", "Cedar Grill",
+                    )), phrase="restaurant name"),
+                    ColSpec("food_type", TEXT, ("pool", (
+                        "italian", "thai", "mexican", "seafood", "vegan",
+                        "barbecue", "french", "indian",
+                    )), phrase="food type", synonyms=("cuisine",)),
+                    ColSpec("city", TEXT, ("pool", V.CITIES)),
+                    ColSpec("rating", NUMBER, ("float", 1.0, 5.0)),
+                ),
+                rows=24,
+                phrase="restaurant",
+                synonyms=("eatery", "diner"),
+            ),
+            TableSpec(
+                "orders",
+                (
+                    ColSpec("order_id", NUMBER, ("pk",), phrase="order id"),
+                    ColSpec("rest_id", NUMBER, ("fk", "restaurant", "rest_id"),
+                            phrase="restaurant id"),
+                    ColSpec("customer", TEXT, ("name",),
+                            phrase="customer name"),
+                    ColSpec("total", NUMBER, ("float", 8, 220),
+                            phrase="order total"),
+                ),
+                rows=40,
+                phrase="order",
+            ),
+        ),
+        fks=(("orders", "rest_id", "restaurant", "rest_id"),),
+    )
+
+
+def _courses_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="courses",
+        tables=(
+            TableSpec(
+                "instructor",
+                (
+                    ColSpec("instr_id", NUMBER, ("pk",), phrase="instructor id"),
+                    ColSpec("name", TEXT, ("name",), phrase="instructor name"),
+                    ColSpec("dept", TEXT, ("pool", V.MAJORS),
+                            phrase="department"),
+                    ColSpec("salary", NUMBER, ("int", 45000, 160000)),
+                ),
+                rows=18,
+                phrase="instructor",
+                synonyms=("teacher", "professor"),
+            ),
+            TableSpec(
+                "course",
+                (
+                    ColSpec("course_id", NUMBER, ("pk",), phrase="course id"),
+                    ColSpec("title", TEXT, ("pool", (
+                        "Intro to Logic", "Linear Algebra", "World History",
+                        "Organic Chemistry", "Microeconomics",
+                        "Data Structures", "Thermodynamics", "Poetics",
+                    )), phrase="course title"),
+                    ColSpec("instr_id", NUMBER, ("fk", "instructor", "instr_id"),
+                            phrase="instructor id"),
+                    ColSpec("credits", NUMBER, ("int", 1, 6)),
+                    ColSpec("enrollment", NUMBER, ("int", 5, 300),
+                            phrase="enrolled students"),
+                ),
+                rows=30,
+                phrase="course",
+                synonyms=("class",),
+            ),
+        ),
+        fks=(("course", "instr_id", "instructor", "instr_id"),),
+    )
+
+
+def _climbing_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="climbing",
+        tables=(
+            TableSpec(
+                "mountain",
+                (
+                    ColSpec("mountain_id", NUMBER, ("pk",),
+                            phrase="mountain id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Mount Arden", "Kestrel Peak", "Graystone",
+                        "Mount Halla", "Windmere Summit", "The Needle",
+                        "Mount Corvus", "Falcon Ridge",
+                    )), phrase="mountain name"),
+                    ColSpec("height", NUMBER, ("int", 1800, 8500)),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                ),
+                rows=14,
+                phrase="mountain",
+                synonyms=("peak",),
+            ),
+            TableSpec(
+                "climber",
+                (
+                    ColSpec("climber_id", NUMBER, ("pk",), phrase="climber id"),
+                    ColSpec("name", TEXT, ("name",), phrase="climber name"),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                    ColSpec("mountain_id", NUMBER,
+                            ("fk", "mountain", "mountain_id"),
+                            phrase="mountain id"),
+                    ColSpec("points", NUMBER, ("int", 0, 100)),
+                ),
+                rows=26,
+                phrase="climber",
+                synonyms=("mountaineer",),
+            ),
+        ),
+        fks=(("climber", "mountain_id", "mountain", "mountain_id"),),
+    )
+
+
+def _shops_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="shops",
+        tables=(
+            TableSpec(
+                "shop",
+                (
+                    ColSpec("shop_id", NUMBER, ("pk",), phrase="shop id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Corner Goods", "Daily Mart", "Green Grocer",
+                        "Hardware Plus", "Book Nook", "Style Avenue",
+                        "Fresh Fields", "Gadget Hub",
+                    )), phrase="shop name"),
+                    ColSpec("district", TEXT, ("pool", V.CITIES)),
+                    ColSpec("number_products", NUMBER, ("int", 20, 900),
+                            phrase="product count"),
+                ),
+                rows=14,
+                phrase="shop",
+                synonyms=("store",),
+            ),
+            TableSpec(
+                "staff",
+                (
+                    ColSpec("staff_id", NUMBER, ("pk",), phrase="staff id"),
+                    ColSpec("name", TEXT, ("name",), phrase="staff name"),
+                    ColSpec("shop_id", NUMBER, ("fk", "shop", "shop_id"),
+                            phrase="shop id"),
+                    ColSpec("age", NUMBER, ("int", 18, 62)),
+                    ColSpec("wage", NUMBER, ("int", 1800, 6200),
+                            synonyms=("salary",)),
+                ),
+                rows=34,
+                phrase="staff member",
+                synonyms=("employee", "clerk"),
+            ),
+        ),
+        fks=(("staff", "shop_id", "shop", "shop_id"),),
+    )
+
+
+
+
+def _hospital_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="hospital",
+        tables=(
+            TableSpec(
+                "physician",
+                (
+                    ColSpec("physician_id", NUMBER, ("pk",),
+                            phrase="physician id"),
+                    ColSpec("name", TEXT, ("name",), phrase="physician name"),
+                    ColSpec("specialty", TEXT, ("pool", (
+                        "cardiology", "oncology", "pediatrics", "neurology",
+                        "radiology", "surgery",
+                    ))),
+                    ColSpec("years_experience", NUMBER, ("int", 1, 35),
+                            phrase="years of experience"),
+                ),
+                rows=18,
+                phrase="physician",
+                synonyms=("doctor",),
+            ),
+            TableSpec(
+                "patient",
+                (
+                    ColSpec("patient_id", NUMBER, ("pk",), phrase="patient id"),
+                    ColSpec("name", TEXT, ("name",), phrase="patient name"),
+                    ColSpec("age", NUMBER, ("int", 1, 90)),
+                    ColSpec("city", TEXT, ("pool", V.CITIES)),
+                ),
+                rows=30,
+                phrase="patient",
+            ),
+            TableSpec(
+                "appointment",
+                (
+                    ColSpec("appt_id", NUMBER, ("pk",), phrase="appointment id"),
+                    ColSpec("physician_id", NUMBER,
+                            ("fk", "physician", "physician_id"),
+                            phrase="physician id"),
+                    ColSpec("patient_id", NUMBER,
+                            ("fk", "patient", "patient_id"),
+                            phrase="patient id"),
+                    ColSpec("duration", NUMBER, ("int", 10, 90),
+                            phrase="duration in minutes"),
+                ),
+                rows=40,
+                phrase="appointment",
+                synonyms=("visit",),
+            ),
+        ),
+        fks=(
+            ("appointment", "physician_id", "physician", "physician_id"),
+            ("appointment", "patient_id", "patient", "patient_id"),
+        ),
+    )
+
+
+def _wine_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="wine",
+        tables=(
+            TableSpec(
+                "winery",
+                (
+                    ColSpec("winery_id", NUMBER, ("pk",), phrase="winery id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Stonebrook Cellars", "Vista Ridge", "Old Mill Estate",
+                        "Harvest Moon", "Copper Creek", "Valley Oak",
+                    )), phrase="winery name"),
+                    ColSpec("region", TEXT, ("pool", V.CITIES)),
+                ),
+                rows=10,
+                phrase="winery",
+                synonyms=("vineyard",),
+            ),
+            TableSpec(
+                "wine",
+                (
+                    ColSpec("wine_id", NUMBER, ("pk",), phrase="wine id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Red Harvest", "Golden Field", "Night Press",
+                        "Silver Vine", "Autumn Cask", "First Frost",
+                    )), phrase="wine name"),
+                    ColSpec("winery_id", NUMBER, ("fk", "winery", "winery_id"),
+                            phrase="winery id"),
+                    ColSpec("year", NUMBER, ("year", 1990, 2022),
+                            phrase="vintage year"),
+                    ColSpec("score", NUMBER, ("int", 70, 100)),
+                    ColSpec("price", NUMBER, ("int", 8, 250)),
+                ),
+                rows=34,
+                phrase="wine",
+                synonyms=("bottle",),
+            ),
+        ),
+        fks=(("wine", "winery_id", "winery", "winery_id"),),
+    )
+
+
+def _race_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="race_track",
+        tables=(
+            TableSpec(
+                "track",
+                (
+                    ColSpec("track_id", NUMBER, ("pk",), phrase="track id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Silver Loop", "Harbor Circuit", "Hillcrest Raceway",
+                        "Sunset Speedway", "Granite Ring",
+                    )), phrase="track name"),
+                    ColSpec("seating", NUMBER, ("int", 5000, 120000)),
+                    ColSpec("year_opened", NUMBER, ("year", 1950, 2015),
+                            phrase="opening year"),
+                ),
+                rows=8,
+                phrase="track",
+                synonyms=("circuit",),
+            ),
+            TableSpec(
+                "race",
+                (
+                    ColSpec("race_id", NUMBER, ("pk",), phrase="race id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Spring Grand Prix", "Harvest Cup", "Winter Classic",
+                        "City Sprint", "Endurance 500",
+                    )), phrase="race name"),
+                    ColSpec("track_id", NUMBER, ("fk", "track", "track_id"),
+                            phrase="track id"),
+                    ColSpec("laps", NUMBER, ("int", 20, 200)),
+                ),
+                rows=22,
+                phrase="race",
+            ),
+        ),
+        fks=(("race", "track_id", "track", "track_id"),),
+    )
+
+
+def _apartments_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="apartments",
+        tables=(
+            TableSpec(
+                "building",
+                (
+                    ColSpec("building_id", NUMBER, ("pk",),
+                            phrase="building id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Linden Court", "Harbor Tower", "Maple Heights",
+                        "The Meridian", "Garden Terrace", "Summit Place",
+                    )), phrase="building name"),
+                    ColSpec("floors", NUMBER, ("int", 3, 40)),
+                    ColSpec("district", TEXT, ("pool", V.CITIES)),
+                ),
+                rows=10,
+                phrase="building",
+            ),
+            TableSpec(
+                "apartment",
+                (
+                    ColSpec("apt_id", NUMBER, ("pk",), phrase="apartment id"),
+                    ColSpec("building_id", NUMBER,
+                            ("fk", "building", "building_id"),
+                            phrase="building id"),
+                    ColSpec("bedrooms", NUMBER, ("int", 0, 5)),
+                    ColSpec("rent", NUMBER, ("int", 600, 4800)),
+                    ColSpec("status", TEXT, ("pool", (
+                        "available", "occupied", "renovating",
+                    ))),
+                ),
+                rows=36,
+                phrase="apartment",
+                synonyms=("unit", "flat"),
+            ),
+        ),
+        fks=(("apartment", "building_id", "building", "building_id"),),
+    )
+
+
+def _festival_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="festival",
+        tables=(
+            TableSpec(
+                "artist",
+                (
+                    ColSpec("artist_id", NUMBER, ("pk",), phrase="artist id"),
+                    ColSpec("name", TEXT, ("name",), phrase="artist name"),
+                    ColSpec("genre", TEXT, ("pool", V.GENRES)),
+                    ColSpec("followers", NUMBER, ("int", 1000, 9000000)),
+                ),
+                rows=22,
+                phrase="artist",
+                synonyms=("performer", "act"),
+            ),
+            TableSpec(
+                "stage",
+                (
+                    ColSpec("stage_id", NUMBER, ("pk",), phrase="stage id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "Main Stage", "River Stage", "Forest Stage",
+                        "Night Tent", "Acoustic Corner",
+                    )), phrase="stage name"),
+                    ColSpec("capacity", NUMBER, ("int", 500, 40000)),
+                ),
+                rows=6,
+                phrase="stage",
+            ),
+            TableSpec(
+                "performance_slot",
+                (
+                    ColSpec("slot_id", NUMBER, ("pk",), phrase="slot id"),
+                    ColSpec("artist_id", NUMBER, ("fk", "artist", "artist_id"),
+                            phrase="artist id"),
+                    ColSpec("stage_id", NUMBER, ("fk", "stage", "stage_id"),
+                            phrase="stage id"),
+                    ColSpec("day", NUMBER, ("int", 1, 3),
+                            phrase="festival day"),
+                    ColSpec("minutes", NUMBER, ("int", 30, 120),
+                            phrase="set length"),
+                ),
+                rows=34,
+                phrase="performance slot",
+                synonyms=("set",),
+            ),
+        ),
+        fks=(
+            ("performance_slot", "artist_id", "artist", "artist_id"),
+            ("performance_slot", "stage_id", "stage", "stage_id"),
+        ),
+    )
+
+
+def _warehouse_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="warehouse",
+        tables=(
+            TableSpec(
+                "supplier",
+                (
+                    ColSpec("supplier_id", NUMBER, ("pk",),
+                            phrase="supplier id"),
+                    ColSpec("name", TEXT, ("pool", V.INSTITUTION_NAMES),
+                            phrase="supplier name", synonyms=("vendor",)),
+                    ColSpec("country", TEXT, ("pool", V.COUNTRIES)),
+                ),
+                rows=12,
+                phrase="supplier",
+                synonyms=("vendor",),
+            ),
+            TableSpec(
+                "product",
+                (
+                    ColSpec("product_id", NUMBER, ("pk",),
+                            phrase="product id"),
+                    ColSpec("name", TEXT, ("pool", (
+                        "steel bolt", "copper wire", "hinge set",
+                        "rubber seal", "glass pane", "pine board",
+                        "ceramic tile", "light fixture",
+                    )), phrase="product name"),
+                    ColSpec("supplier_id", NUMBER,
+                            ("fk", "supplier", "supplier_id"),
+                            phrase="supplier id"),
+                    ColSpec("unit_price", NUMBER, ("float", 0.5, 120.0),
+                            phrase="unit price"),
+                    ColSpec("quantity", NUMBER, ("int", 0, 5000),
+                            phrase="stock quantity"),
+                ),
+                rows=40,
+                phrase="product",
+                synonyms=("item",),
+            ),
+        ),
+        fks=(("product", "supplier_id", "supplier", "supplier_id"),),
+    )
+
+
+def _gym_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="gym",
+        tables=(
+            TableSpec(
+                "trainer",
+                (
+                    ColSpec("trainer_id", NUMBER, ("pk",), phrase="trainer id"),
+                    ColSpec("name", TEXT, ("name",), phrase="trainer name"),
+                    ColSpec("specialty", TEXT, ("pool", (
+                        "yoga", "pilates", "crossfit", "spinning", "boxing",
+                    ))),
+                ),
+                rows=10,
+                phrase="trainer",
+                synonyms=("coach", "instructor"),
+            ),
+            TableSpec(
+                "member",
+                (
+                    ColSpec("member_id", NUMBER, ("pk",), phrase="member id"),
+                    ColSpec("name", TEXT, ("name",), phrase="member name"),
+                    ColSpec("age", NUMBER, ("int", 16, 75)),
+                    ColSpec("monthly_fee", NUMBER, ("int", 20, 150),
+                            phrase="monthly fee"),
+                ),
+                rows=32,
+                phrase="member",
+            ),
+            TableSpec(
+                "session",
+                (
+                    ColSpec("session_id", NUMBER, ("pk",), phrase="session id"),
+                    ColSpec("trainer_id", NUMBER,
+                            ("fk", "trainer", "trainer_id"),
+                            phrase="trainer id"),
+                    ColSpec("member_id", NUMBER, ("fk", "member", "member_id"),
+                            phrase="member id"),
+                    ColSpec("length", NUMBER, ("int", 30, 120),
+                            phrase="session length"),
+                ),
+                rows=38,
+                phrase="session",
+                synonyms=("workout",),
+            ),
+        ),
+        fks=(
+            ("session", "trainer_id", "trainer", "trainer_id"),
+            ("session", "member_id", "member", "member_id"),
+        ),
+    )
+
+
+def _elections_domain() -> DomainSpec:
+    return DomainSpec(
+        db_id="elections",
+        tables=(
+            TableSpec(
+                "county",
+                (
+                    ColSpec("county_id", NUMBER, ("pk",), phrase="county id"),
+                    ColSpec("name", TEXT, ("pool", V.CITIES),
+                            phrase="county name"),
+                    ColSpec("population", NUMBER, ("int", 20000, 2000000)),
+                ),
+                rows=12,
+                phrase="county",
+            ),
+            TableSpec(
+                "candidate",
+                (
+                    ColSpec("candidate_id", NUMBER, ("pk",),
+                            phrase="candidate id"),
+                    ColSpec("name", TEXT, ("name",), phrase="candidate name"),
+                    ColSpec("party", TEXT, ("pool", (
+                        "Unity", "Progress", "Heritage", "Reform",
+                    ))),
+                ),
+                rows=10,
+                phrase="candidate",
+            ),
+            TableSpec(
+                "result",
+                (
+                    ColSpec("county_id", NUMBER, ("fk", "county", "county_id"),
+                            phrase="county id"),
+                    ColSpec("candidate_id", NUMBER,
+                            ("fk", "candidate", "candidate_id"),
+                            phrase="candidate id"),
+                    ColSpec("votes", NUMBER, ("int", 500, 600000)),
+                ),
+                rows=40,
+                phrase="election result",
+                synonyms=("tally",),
+            ),
+        ),
+        fks=(
+            ("result", "county_id", "county", "county_id"),
+            ("result", "candidate_id", "candidate", "candidate_id"),
+        ),
+    )
+
+
+#: The Spider-like domain catalog: db_id -> spec factory.
+SPIDER_DOMAINS: dict[str, DomainSpec] = {
+    spec.db_id: spec
+    for spec in (
+        _pets_domain(),
+        _world_domain(),
+        _cars_domain(),
+        _concerts_domain(),
+        _employees_domain(),
+        _flights_domain(),
+        _college_domain(),
+        _orchestra_domain(),
+        _tvshow_domain(),
+        _museum_domain(),
+        _battles_domain(),
+        _dorms_domain(),
+        _library_domain(),
+        _restaurant_domain(),
+        _courses_domain(),
+        _climbing_domain(),
+        _shops_domain(),
+        _hospital_domain(),
+        _wine_domain(),
+        _race_domain(),
+        _apartments_domain(),
+        _festival_domain(),
+        _warehouse_domain(),
+        _gym_domain(),
+        _elections_domain(),
+    )
+}

@@ -1,0 +1,169 @@
+"""Spider-format JSON export/import.
+
+Serialises a benchmark the way the real Spider distributes data —
+``tables.json`` (schemas), per-split example files with ``question``/
+``query``/``db_id`` fields, and a ``database/`` directory with row dumps —
+so the synthetic corpora can be inspected with existing Spider tooling, and
+external Spider-style files can be loaded back into a
+:class:`~repro.data.dataset.Dataset`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.data.dataset import Benchmark, Dataset, Example
+from repro.schema.database import Database
+from repro.schema.schema import Column, ForeignKey, Schema, Table
+from repro.sqlkit.parser import parse_sql
+
+
+def schema_to_spider(schema: Schema) -> dict:
+    """One entry of Spider's ``tables.json`` for *schema*.
+
+    Column index 0 is Spider's ``*`` pseudo-column; real columns follow in
+    (table, position) order.
+    """
+    table_names = [t.name.lower() for t in schema.tables]
+    column_names: list[list] = [[-1, "*"]]
+    column_types: list[str] = ["text"]
+    index_of: dict[tuple[str, str], int] = {}
+    for table_index, table in enumerate(schema.tables):
+        for column in table.columns:
+            index_of[(table.name.lower(), column.name.lower())] = len(
+                column_names
+            )
+            column_names.append([table_index, column.name.lower()])
+            column_types.append(column.ctype)
+    foreign_keys = []
+    for fk in schema.foreign_keys:
+        child = index_of[(fk.child_table.lower(), fk.child_column.lower())]
+        parent = index_of[(fk.parent_table.lower(), fk.parent_column.lower())]
+        foreign_keys.append([child, parent])
+    return {
+        "db_id": schema.db_id,
+        "table_names_original": table_names,
+        "table_names": [t.nl for t in schema.tables],
+        "column_names_original": column_names,
+        "column_names": [
+            [owner, schema.tables[owner].column(name).nl if owner >= 0 else "*"]
+            for owner, name in column_names
+        ],
+        "column_types": column_types,
+        "foreign_keys": foreign_keys,
+        "primary_keys": [],
+    }
+
+
+def spider_to_schema(entry: dict) -> Schema:
+    """Rebuild a :class:`Schema` from a Spider ``tables.json`` entry."""
+    tables: list[Table] = []
+    names = entry["table_names_original"]
+    columns_by_table: dict[int, list[Column]] = {i: [] for i in range(len(names))}
+    for (owner, name), ctype in zip(
+        entry["column_names_original"], entry["column_types"]
+    ):
+        if owner < 0:
+            continue
+        columns_by_table[owner].append(
+            Column(name=name, ctype="number" if ctype == "number" else "text")
+        )
+    for index, name in enumerate(names):
+        tables.append(Table(name=name, columns=tuple(columns_by_table[index])))
+
+    flat: list[tuple[str, str]] = [("", "*")]
+    for owner, name in entry["column_names_original"]:
+        if owner < 0:
+            continue
+        flat.append((names[owner], name))
+    foreign_keys = tuple(
+        ForeignKey(
+            child_table=flat[child][0],
+            child_column=flat[child][1],
+            parent_table=flat[parent][0],
+            parent_column=flat[parent][1],
+        )
+        for child, parent in entry.get("foreign_keys", [])
+    )
+    return Schema(
+        db_id=entry["db_id"], tables=tuple(tables), foreign_keys=foreign_keys
+    )
+
+
+def examples_to_spider(dataset: Dataset) -> list[dict]:
+    """Spider-style example records (question/query/db_id)."""
+    return [
+        {
+            "db_id": example.db_id,
+            "question": example.question,
+            "query": example.sql_text,
+        }
+        for example in dataset.examples
+    ]
+
+
+def export_benchmark(benchmark: Benchmark, directory: str | pathlib.Path) -> None:
+    """Write *benchmark* in Spider layout under *directory*.
+
+    Layout::
+
+        tables.json
+        train.json
+        dev.json
+        database/<db_id>/rows.json
+    """
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    schemas = [
+        schema_to_spider(db.schema)
+        for db in benchmark.train.databases.values()
+    ]
+    (root / "tables.json").write_text(json.dumps(schemas, indent=1))
+    (root / "train.json").write_text(
+        json.dumps(examples_to_spider(benchmark.train), indent=1)
+    )
+    (root / "dev.json").write_text(
+        json.dumps(examples_to_spider(benchmark.dev), indent=1)
+    )
+    database_dir = root / "database"
+    for db_id, db in benchmark.train.databases.items():
+        target = database_dir / db_id
+        target.mkdir(parents=True, exist_ok=True)
+        (target / "rows.json").write_text(json.dumps(db.rows, indent=1))
+
+
+def load_benchmark(directory: str | pathlib.Path) -> Benchmark:
+    """Load a benchmark previously written by :func:`export_benchmark`."""
+    root = pathlib.Path(directory)
+    schemas = {
+        entry["db_id"]: spider_to_schema(entry)
+        for entry in json.loads((root / "tables.json").read_text())
+    }
+    databases: dict[str, Database] = {}
+    for db_id, schema in schemas.items():
+        db = Database(schema)
+        rows_file = root / "database" / db_id / "rows.json"
+        if rows_file.exists():
+            stored = json.loads(rows_file.read_text())
+            for table, rows in stored.items():
+                db.rows[table] = rows
+        databases[db_id] = db
+
+    def load_split(name: str) -> Dataset:
+        records = json.loads((root / f"{name}.json").read_text())
+        examples = [
+            Example(
+                question=record["question"],
+                sql=parse_sql(record["query"]),
+                db_id=record["db_id"],
+            )
+            for record in records
+        ]
+        return Dataset(
+            name=f"loaded-{name}", examples=examples, databases=databases
+        )
+
+    return Benchmark(
+        name="loaded", train=load_split("train"), dev=load_split("dev")
+    )

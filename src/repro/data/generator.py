@@ -1,0 +1,618 @@
+"""Stratified SQL query sampler.
+
+Samples executable SQL queries over a populated database, covering the
+Spider query patterns: projections, aggregates, filters (=, !=, <, >, LIKE,
+BETWEEN, IN), joins along foreign keys, GROUP BY / HAVING, ORDER BY / LIMIT,
+set operations and nested subqueries.  Template weights are tuned so the
+hardness-level mix resembles Spider's (roughly 23% easy / 40% medium /
+20% hard / 17% extra).
+
+Every sampled query is validated by execution; queries with empty results are
+retried a few times so the corpus stays meaningful for the EX metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.database import Database
+from repro.schema.executor import execute
+from repro.schema.schema import NUMBER, TEXT, Column, Table
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    FromClause,
+    JoinCond,
+    Literal,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+)
+from repro.sqlkit.errors import SqlError
+
+
+@dataclass
+class SamplerConfig:
+    """Knobs controlling the query mix."""
+
+    max_retries: int = 8
+    allow_empty_result_fraction: float = 0.15
+    max_where_predicates: int = 2
+    #: template -> sampling weight
+    weights: dict[str, float] | None = None
+
+
+DEFAULT_WEIGHTS = {
+    "projection": 16.0,
+    "projection_where": 22.0,
+    "aggregate": 9.0,
+    "agg_arith": 2.0,
+    "count_star": 7.0,
+    "order_limit": 10.0,
+    "group_count": 9.0,
+    "group_having": 4.0,
+    "join_projection": 12.0,
+    "join_chain": 2.0,
+    "join_group": 5.0,
+    "nested_in": 5.0,
+    "scalar_subquery": 4.0,
+    "set_op": 5.0,
+    "from_subquery": 2.0,
+}
+
+
+class QuerySampler:
+    """Samples random-but-valid queries over one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        rng: np.random.Generator,
+        config: SamplerConfig | None = None,
+    ) -> None:
+        self.db = db
+        self.schema = db.schema
+        self.rng = rng
+        self.config = config or SamplerConfig()
+        weights = self.config.weights or DEFAULT_WEIGHTS
+        self._templates = list(weights.keys())
+        total = sum(weights.values())
+        self._probs = np.array([weights[t] / total for t in self._templates])
+
+    # ------------------------------------------------------------------
+    # Public API.
+
+    def sample(self) -> Query:
+        """Sample one validated query."""
+        for attempt in range(self.config.max_retries):
+            template = self._templates[
+                int(self.rng.choice(len(self._templates), p=self._probs))
+            ]
+            try:
+                query = self._build(template)
+                rows = execute(query, self.db)
+            except SqlError:
+                continue
+            allow_empty = (
+                self.rng.random() < self.config.allow_empty_result_fraction
+            )
+            if rows or allow_empty or attempt == self.config.max_retries - 1:
+                return query
+        # Fall back to a trivially valid projection.
+        return self._build("projection")
+
+    def sample_many(self, count: int) -> list[Query]:
+        """Sample *count* validated queries."""
+        return [self.sample() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Random pickers.
+
+    def _pick(self, items):
+        return items[int(self.rng.integers(len(items)))]
+
+    def _pick_table(self) -> Table:
+        return self._pick(self.schema.tables)
+
+    def _pick_column(
+        self,
+        table: Table,
+        ctype: str | None = None,
+        avoid_keys: bool = False,
+    ) -> Column:
+        candidates = [
+            c for c in table.columns if ctype is None or c.ctype == ctype
+        ]
+        if avoid_keys:
+            non_keys = [
+                c
+                for c in candidates
+                if not self.schema.is_key_column(table.name, c.name)
+            ]
+            if non_keys:
+                candidates = non_keys
+        if not candidates:
+            candidates = list(table.columns)
+        return self._pick(candidates)
+
+    def _nonkey_numbers(self, table: Table) -> list[Column]:
+        columns = [
+            c
+            for c in self._number_columns(table)
+            if not self.schema.is_key_column(table.name, c.name)
+        ]
+        return columns or self._number_columns(table)
+
+    def _text_columns(self, table: Table) -> list[Column]:
+        return [c for c in table.columns if c.ctype == TEXT]
+
+    def _number_columns(self, table: Table) -> list[Column]:
+        return [c for c in table.columns if c.ctype == NUMBER]
+
+    def _joinable_pair(self) -> tuple[Table, Table] | None:
+        """A random FK-linked table pair (child first)."""
+        if not self.schema.foreign_keys:
+            return None
+        fk = self._pick(self.schema.foreign_keys)
+        return self.schema.table(fk.child_table), self.schema.table(fk.parent_table)
+
+    def _column_ref(self, table: Table, column: Column) -> ColumnRef:
+        return ColumnRef(column=column.name.lower(), table=table.name.lower())
+
+    # ------------------------------------------------------------------
+    # Predicate construction grounded in database contents.
+
+    def _value_for(self, table: Table, column: Column) -> object | None:
+        values = self.db.column_values(table.name, column.name)
+        if not values:
+            return None
+        return self._pick(values)
+
+    def _predicate(self, table: Table, prefer: str | None = None) -> Predicate | None:
+        """A grounded predicate over one column of *table*."""
+        kinds = ["eq", "neq", "cmp", "like", "between"]
+        weights = [0.38, 0.12, 0.3, 0.1, 0.1]
+        if prefer is not None:
+            kind = prefer
+        else:
+            kind = kinds[int(self.rng.choice(len(kinds), p=weights))]
+
+        if kind in ("eq", "neq", "like"):
+            text_cols = self._text_columns(table)
+            if not text_cols:
+                kind = "cmp"
+            else:
+                column = self._pick(text_cols)
+                value = self._value_for(table, column)
+                if value is None:
+                    return None
+                ref = self._column_ref(table, column)
+                if kind == "like":
+                    token = str(value).split()[0]
+                    return Predicate(
+                        left=ref, op="like", right=Literal(f"%{token}%")
+                    )
+                op = "=" if kind == "eq" else "!="
+                return Predicate(left=ref, op=op, right=Literal(value))
+
+        number_cols = self._number_columns(table)
+        if not number_cols:
+            return None
+        column = self._pick(number_cols)
+        values = [
+            v
+            for v in self.db.column_values(table.name, column.name)
+            if isinstance(v, (int, float))
+        ]
+        if not values:
+            return None
+        ref = self._column_ref(table, column)
+        pivot = self._pick(values)
+        if kind == "between":
+            low, high = sorted((pivot, self._pick(values)))
+            return Predicate(
+                left=ref,
+                op="between",
+                right=Literal(low),
+                right2=Literal(high),
+            )
+        op = self._pick(["<", ">", "<=", ">="])
+        return Predicate(left=ref, op=op, right=Literal(pivot))
+
+    def _where(self, table: Table, max_predicates: int | None = None) -> Condition | None:
+        if max_predicates is None:
+            max_predicates = self.config.max_where_predicates
+        if max_predicates <= 1:
+            count = 1
+        elif max_predicates >= 3:
+            count = int(self.rng.choice([1, 2, 3], p=[0.3, 0.4, 0.3]))
+        elif self.rng.random() < 0.72:
+            count = 1
+        else:
+            count = 2
+        predicates = []
+        for _ in range(count):
+            predicate = self._predicate(table)
+            if predicate is not None:
+                predicates.append(predicate)
+        if not predicates:
+            return None
+        connectors = tuple(
+            "and" if self.rng.random() < 0.75 else "or"
+            for _ in range(len(predicates) - 1)
+        )
+        return Condition(predicates=tuple(predicates), connectors=connectors)
+
+    # ------------------------------------------------------------------
+    # Templates.
+
+    def _build(self, template: str) -> Query:
+        builder = getattr(self, f"_template_{template}")
+        query = builder()
+        if query is None:
+            raise SqlError(f"template {template} not applicable")
+        return query
+
+    def _template_projection(self) -> Query:
+        table = self._pick_table()
+        count = 1 if self.rng.random() < 0.6 else 2
+        columns = [
+            self._pick_column(table, avoid_keys=True) for _ in range(count)
+        ]
+        distinct = self.rng.random() < 0.18
+        select = tuple(
+            dict.fromkeys(self._column_ref(table, c) for c in columns)
+        )
+        return SelectQuery(
+            select=select,
+            from_=FromClause(tables=(table.name.lower(),)),
+            distinct=distinct,
+        )
+
+    def _template_projection_where(self) -> Query | None:
+        table = self._pick_table()
+        where = self._where(table)
+        if where is None:
+            return None
+        count = 1 if self.rng.random() < 0.65 else 2
+        columns = [
+            self._pick_column(table, avoid_keys=True) for _ in range(count)
+        ]
+        select = tuple(
+            dict.fromkeys(self._column_ref(table, c) for c in columns)
+        )
+        return SelectQuery(
+            select=select,
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=where,
+        )
+
+    def _template_aggregate(self) -> Query | None:
+        table = self._pick_table()
+        number_cols = self._nonkey_numbers(table)
+        if not number_cols:
+            return None
+        column = self._pick(number_cols)
+        func = self._pick(["avg", "sum", "min", "max"])
+        where = self._where(table) if self.rng.random() < 0.45 else None
+        agg = AggExpr(func=func, arg=self._column_ref(table, column))
+        select: tuple = (agg,)
+        if self.rng.random() < 0.25 and len(number_cols) > 1:
+            other = self._pick([c for c in number_cols if c is not column])
+            select = (
+                agg,
+                AggExpr(
+                    func=self._pick(["min", "max", "avg"]),
+                    arg=self._column_ref(table, other),
+                ),
+            )
+        return SelectQuery(
+            select=select,
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=where,
+        )
+
+    def _template_agg_arith(self) -> Query | None:
+        """Arithmetic over aggregates: SELECT max(c) - min(c) FROM t."""
+        table = self._pick_table()
+        number_cols = self._nonkey_numbers(table)
+        if not number_cols:
+            return None
+        column = self._pick(number_cols)
+        ref = self._column_ref(table, column)
+        expr = Arith(
+            op="-",
+            left=AggExpr(func="max", arg=ref),
+            right=AggExpr(func="min", arg=ref),
+        )
+        where = self._where(table) if self.rng.random() < 0.3 else None
+        return SelectQuery(
+            select=(expr,),
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=where,
+        )
+
+    def _template_count_star(self) -> Query | None:
+        table = self._pick_table()
+        where = self._where(table) if self.rng.random() < 0.6 else None
+        return SelectQuery(
+            select=(AggExpr(func="count", arg=Star()),),
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=where,
+        )
+
+    def _template_order_limit(self) -> Query | None:
+        table = self._pick_table()
+        number_cols = self._nonkey_numbers(table)
+        if not number_cols:
+            return None
+        order_col = self._pick(number_cols)
+        shown = self._pick_column(table, avoid_keys=True)
+        desc = self.rng.random() < 0.55
+        limit = None
+        if self.rng.random() < 0.68:
+            limit = 1 if self.rng.random() < 0.6 else int(self.rng.integers(2, 6))
+        where = self._where(table) if self.rng.random() < 0.25 else None
+        return SelectQuery(
+            select=(self._column_ref(table, shown),),
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=where,
+            order_by=(OrderItem(expr=self._column_ref(table, order_col), desc=desc),),
+            limit=limit,
+        )
+
+    def _template_group_count(self) -> Query | None:
+        table = self._pick_table()
+        text_cols = self._text_columns(table)
+        if not text_cols:
+            return None
+        group_col = self._pick(text_cols)
+        ref = self._column_ref(table, group_col)
+        select = (ref, AggExpr(func="count", arg=Star()))
+        order_by: tuple[OrderItem, ...] = ()
+        limit = None
+        if self.rng.random() < 0.4:
+            order_by = (
+                OrderItem(expr=AggExpr(func="count", arg=Star()), desc=True),
+            )
+            limit = 1
+        return SelectQuery(
+            select=select,
+            from_=FromClause(tables=(table.name.lower(),)),
+            group_by=(ref,),
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _template_group_having(self) -> Query | None:
+        table = self._pick_table()
+        text_cols = self._text_columns(table)
+        if not text_cols:
+            return None
+        group_col = self._pick(text_cols)
+        ref = self._column_ref(table, group_col)
+        threshold = int(self.rng.integers(1, 4))
+        having = Condition(
+            predicates=(
+                Predicate(
+                    left=AggExpr(func="count", arg=Star()),
+                    op=self._pick([">", ">="]),
+                    right=Literal(threshold),
+                ),
+            )
+        )
+        return SelectQuery(
+            select=(ref,),
+            from_=FromClause(tables=(table.name.lower(),)),
+            group_by=(ref,),
+            having=having,
+        )
+
+    def _join_from(self, child: Table, parent: Table) -> FromClause:
+        fk = self.schema.join_condition(child.name, parent.name)
+        joins: tuple[JoinCond, ...] = ()
+        if fk is not None:
+            joins = (
+                JoinCond(
+                    left=ColumnRef(
+                        column=fk.child_column.lower(),
+                        table=fk.child_table.lower(),
+                    ),
+                    right=ColumnRef(
+                        column=fk.parent_column.lower(),
+                        table=fk.parent_table.lower(),
+                    ),
+                ),
+            )
+        return FromClause(
+            tables=(child.name.lower(), parent.name.lower()), joins=joins
+        )
+
+    def _template_join_projection(self) -> Query | None:
+        pair = self._joinable_pair()
+        if pair is None:
+            return None
+        child, parent = pair
+        shown_table = self._pick([child, parent])
+        other = parent if shown_table is child else child
+        shown = self._pick_column(shown_table, avoid_keys=True)
+        where = self._where(other)
+        if where is None and self.rng.random() < 0.7:
+            return None
+        return SelectQuery(
+            select=(self._column_ref(shown_table, shown),),
+            from_=self._join_from(child, parent),
+            where=where,
+        )
+
+    def _template_join_chain(self) -> Query | None:
+        """Three tables joined along a foreign-key path."""
+        chains = []
+        for fk1 in self.schema.foreign_keys:
+            for fk2 in self.schema.foreign_keys:
+                if fk1 is fk2:
+                    continue
+                shared = {fk1.child_table.lower(), fk1.parent_table.lower()} & {
+                    fk2.child_table.lower(),
+                    fk2.parent_table.lower(),
+                }
+                if shared:
+                    chains.append((fk1, fk2))
+        if not chains:
+            return None
+        fk1, fk2 = self._pick(chains)
+        tables: list[str] = []
+        for name in (
+            fk1.child_table, fk1.parent_table, fk2.child_table, fk2.parent_table
+        ):
+            if name.lower() not in tables:
+                tables.append(name.lower())
+        if len(tables) != 3:
+            return None
+        joins = tuple(
+            JoinCond(
+                left=ColumnRef(column=fk.child_column.lower(), table=fk.child_table.lower()),
+                right=ColumnRef(column=fk.parent_column.lower(), table=fk.parent_table.lower()),
+            )
+            for fk in (fk1, fk2)
+        )
+        shown_table = self.schema.table(tables[0])
+        shown = self._pick_column(shown_table, avoid_keys=True)
+        where_table = self.schema.table(tables[-1])
+        where = self._where(where_table, max_predicates=1)
+        return SelectQuery(
+            select=(self._column_ref(shown_table, shown),),
+            from_=FromClause(tables=tuple(tables), joins=joins),
+            where=where,
+        )
+
+    def _template_join_group(self) -> Query | None:
+        pair = self._joinable_pair()
+        if pair is None:
+            return None
+        child, parent = pair
+        text_cols = self._text_columns(parent)
+        if not text_cols:
+            return None
+        group_col = self._pick(text_cols)
+        ref = self._column_ref(parent, group_col)
+        return SelectQuery(
+            select=(ref, AggExpr(func="count", arg=Star())),
+            from_=self._join_from(child, parent),
+            group_by=(ref,),
+        )
+
+    def _template_nested_in(self) -> Query | None:
+        if not self.schema.foreign_keys:
+            return None
+        fk = self._pick(self.schema.foreign_keys)
+        child = self.schema.table(fk.child_table)
+        parent = self.schema.table(fk.parent_table)
+        inner_where = self._where(child, max_predicates=1)
+        shown = self._pick_column(parent, avoid_keys=True)
+        negated = self.rng.random() < 0.45
+        inner = SelectQuery(
+            select=(
+                ColumnRef(
+                    column=fk.child_column.lower(), table=fk.child_table.lower()
+                ),
+            ),
+            from_=FromClause(tables=(child.name.lower(),)),
+            where=inner_where,
+        )
+        outer_where = Condition(
+            predicates=(
+                Predicate(
+                    left=ColumnRef(
+                        column=fk.parent_column.lower(),
+                        table=fk.parent_table.lower(),
+                    ),
+                    op="in",
+                    right=inner,
+                    negated=negated,
+                ),
+            )
+        )
+        return SelectQuery(
+            select=(self._column_ref(parent, shown),),
+            from_=FromClause(tables=(parent.name.lower(),)),
+            where=outer_where,
+        )
+
+    def _template_scalar_subquery(self) -> Query | None:
+        table = self._pick_table()
+        number_cols = self._nonkey_numbers(table)
+        if not number_cols:
+            return None
+        column = self._pick(number_cols)
+        ref = self._column_ref(table, column)
+        inner = SelectQuery(
+            select=(AggExpr(func="avg", arg=ref),),
+            from_=FromClause(tables=(table.name.lower(),)),
+        )
+        shown = self._pick_column(table, avoid_keys=True)
+        op = self._pick([">", "<"])
+        return SelectQuery(
+            select=(self._column_ref(table, shown),),
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=Condition(
+                predicates=(Predicate(left=ref, op=op, right=inner),)
+            ),
+        )
+
+    def _template_set_op(self) -> Query | None:
+        table = self._pick_table()
+        shown = self._pick_column(table, avoid_keys=True)
+        ref = self._column_ref(table, shown)
+        op = self._pick(["except", "intersect", "union"])
+        left_where = None if op == "except" else self._where(table, max_predicates=1)
+        right_where = self._where(table, max_predicates=1)
+        if right_where is None:
+            return None
+        if op != "except" and left_where is None:
+            return None
+        left = SelectQuery(
+            select=(ref,),
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=left_where,
+        )
+        right = SelectQuery(
+            select=(ref,),
+            from_=FromClause(tables=(table.name.lower(),)),
+            where=right_where,
+        )
+        return SetQuery(op=op, left=left, right=right)
+
+    def _template_from_subquery(self) -> Query | None:
+        table = self._pick_table()
+        text_cols = self._text_columns(table)
+        if not text_cols:
+            return None
+        group_col = self._pick(text_cols)
+        ref = self._column_ref(table, group_col)
+        threshold = int(self.rng.integers(1, 4))
+        inner = SelectQuery(
+            select=(ref,),
+            from_=FromClause(tables=(table.name.lower(),)),
+            group_by=(ref,),
+            having=Condition(
+                predicates=(
+                    Predicate(
+                        left=AggExpr(func="count", arg=Star()),
+                        op=">",
+                        right=Literal(threshold),
+                    ),
+                )
+            ),
+        )
+        return SelectQuery(
+            select=(AggExpr(func="count", arg=Star()),),
+            from_=FromClause(subquery=inner),
+        )

@@ -1,0 +1,102 @@
+"""Failure-category analysis (Section IV-E of the paper).
+
+The paper attributes MetaSQL's remaining failures to three causes; this
+module reproduces that taxonomy automatically for any trained pipeline:
+
+- **metadata mismatch** — the classifier's predicted labels cannot compose
+  the gold metadata, so generation is steered toward the wrong structure;
+- **auto-regressive decoding** — even conditioned on the *oracle* metadata,
+  the base model cannot decode the gold query (the paper's join-path
+  example);
+- **ranking** — the gold query is among the candidates but is not ranked
+  first (predominantly a second-stage problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metadata import extract_metadata
+from repro.data.dataset import Dataset, Example
+from repro.sqlkit.compare import exact_match
+
+
+@dataclass
+class FailureCase:
+    """One categorised failure."""
+
+    example: Example
+    category: str
+    top_prediction: str | None
+
+
+@dataclass
+class FailureAnalysis:
+    """Counts and cases per failure category."""
+
+    total: int = 0
+    correct: int = 0
+    cases: list[FailureCase] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        """Failure counts per category."""
+        result = {
+            "metadata mismatch": 0,
+            "auto-regressive decoding": 0,
+            "ranking": 0,
+        }
+        for case in self.cases:
+            result[case.category] += 1
+        return result
+
+    def render(self) -> str:
+        """Human-readable summary of the taxonomy."""
+        lines = [
+            f"Failure analysis over {self.total} questions "
+            f"({self.correct} correct):"
+        ]
+        for category, count in self.counts().items():
+            lines.append(f"  {category:26s} {count}")
+        return "\n".join(lines)
+
+
+def analyze_failures(
+    pipeline, dataset: Dataset, limit: int | None = None
+) -> FailureAnalysis:
+    """Categorise every top-1 failure of *pipeline* on *dataset*."""
+    analysis = FailureAnalysis()
+    examples = dataset.examples[:limit] if limit else dataset.examples
+    for example in examples:
+        db = dataset.database(example.db_id)
+        analysis.total += 1
+        ranked = pipeline.translate_ranked(example.question, db)
+        if ranked and exact_match(ranked[0].query, example.sql):
+            analysis.correct += 1
+            continue
+        top = ranked[0].sql if ranked else None
+
+        if any(exact_match(r.query, example.sql) for r in ranked):
+            category = "ranking"
+        else:
+            gold_meta = extract_metadata(example.sql)
+            predicted_tags, predicted_ratings = pipeline.classifier.predict(
+                example.question, db
+            )
+            covered = gold_meta.tags <= (set(predicted_tags) | {"project"})
+            if not covered:
+                category = "metadata mismatch"
+            else:
+                # Oracle conditioning: can the base model decode gold at all?
+                oracle = pipeline.candidates(
+                    example.question, db, compositions=[gold_meta]
+                )
+                if any(exact_match(c.query, example.sql) for c in oracle):
+                    category = "ranking"
+                else:
+                    category = "auto-regressive decoding"
+        analysis.cases.append(
+            FailureCase(
+                example=example, category=category, top_prediction=top
+            )
+        )
+    return analysis

@@ -1,0 +1,173 @@
+"""Dataset-level evaluation of base models and MetaSQL pipelines.
+
+Produces an :class:`EvalResult` holding one :class:`EvalRecord` per example
+(ranked exact-match flags, EX flag, hardness level, statement-type tags), so
+every paper table's breakdown can be computed from one evaluation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import Dataset, Example
+from repro.eval.metrics import execution_match, mrr, precision_at_k
+from repro.models.base import TranslationModel
+from repro.sqlkit.ast import Query, SetQuery, iter_selects
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.hardness import Hardness
+
+
+@dataclass
+class EvalRecord:
+    """Evaluation outcome for one example."""
+
+    example: Example
+    predictions: list[Query]
+    exact_flags: list[bool]
+    execution_hit: bool
+
+    @property
+    def em(self) -> bool:
+        return bool(self.exact_flags and self.exact_flags[0])
+
+    @property
+    def hardness(self) -> Hardness:
+        return self.example.hardness
+
+
+@dataclass
+class EvalResult:
+    """Aggregated evaluation over a dataset."""
+
+    name: str
+    records: list[EvalRecord] = field(default_factory=list)
+
+    @property
+    def em(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.em for r in self.records) / len(self.records)
+
+    @property
+    def ex(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.execution_hit for r in self.records) / len(self.records)
+
+    def precision_at(self, k: int) -> float:
+        return precision_at_k([r.exact_flags for r in self.records], k)
+
+    @property
+    def mrr(self) -> float:
+        return mrr([r.exact_flags for r in self.records])
+
+    def em_by_hardness(self) -> dict[str, float]:
+        buckets: dict[str, list[bool]] = {h.value: [] for h in Hardness}
+        for record in self.records:
+            buckets[record.hardness.value].append(record.em)
+        return {
+            level: (sum(flags) / len(flags) if flags else 0.0)
+            for level, flags in buckets.items()
+        }
+
+    def em_by_statement_type(self) -> dict[str, float]:
+        buckets: dict[str, list[bool]] = {
+            t: [] for t in ("orderby", "groupby", "nested", "negation")
+        }
+        for record in self.records:
+            for tag in statement_types(record.example.sql):
+                buckets[tag].append(record.em)
+        return {
+            tag: (sum(flags) / len(flags) if flags else 0.0)
+            for tag, flags in buckets.items()
+        }
+
+    def counts_by_statement_type(self) -> dict[str, int]:
+        counts = {t: 0 for t in ("orderby", "groupby", "nested", "negation")}
+        for record in self.records:
+            for tag in statement_types(record.example.sql):
+                counts[tag] += 1
+        return counts
+
+
+def statement_types(query: Query) -> set[str]:
+    """Table 6 statement-type tags for a query."""
+    tags: set[str] = set()
+    queries = [query]
+    if isinstance(query, SetQuery):
+        tags.add("nested")
+    for select in iter_selects(query):
+        if select.order_by:
+            tags.add("orderby")
+        if select.group_by:
+            tags.add("groupby")
+        if select.from_.subquery is not None:
+            tags.add("nested")
+        for condition in (select.where, select.having):
+            if condition is None:
+                continue
+            for predicate in condition.predicates:
+                if predicate.has_subquery:
+                    tags.add("nested")
+                if predicate.negated or predicate.op == "!=":
+                    tags.add("negation")
+    return tags
+
+
+def evaluate_model(
+    model: TranslationModel,
+    dataset: Dataset,
+    beam_size: int = 5,
+    compute_execution: bool = True,
+    limit: int | None = None,
+) -> EvalResult:
+    """Evaluate a base translation model (standard beam decoding)."""
+    result = EvalResult(name=f"{model.name}@{dataset.name}")
+    examples = dataset.examples[:limit] if limit else dataset.examples
+    for example in examples:
+        db = dataset.database(example.db_id)
+        candidates = model.translate(example.question, db, beam_size=beam_size)
+        predictions = [c.query for c in candidates]
+        flags = [exact_match(p, example.sql) for p in predictions[:5]]
+        execution_hit = bool(predictions) and compute_execution and (
+            execution_match(predictions[0], example.sql, db)
+        )
+        result.records.append(
+            EvalRecord(
+                example=example,
+                predictions=predictions,
+                exact_flags=flags,
+                execution_hit=execution_hit,
+            )
+        )
+    return result
+
+
+def evaluate_metasql(
+    pipeline,
+    dataset: Dataset,
+    compute_execution: bool = True,
+    limit: int | None = None,
+) -> EvalResult:
+    """Evaluate a trained MetaSQL pipeline (two-stage ranked output)."""
+    result = EvalResult(
+        name=f"{pipeline.model.name}+metasql@{dataset.name}"
+    )
+    examples = dataset.examples[:limit] if limit else dataset.examples
+    for example in examples:
+        db = dataset.database(example.db_id)
+        ranked = pipeline.translate_ranked(example.question, db)
+        predictions = [r.query for r in ranked]
+        flags = [exact_match(p, example.sql) for p in predictions[:5]]
+        execution_hit = bool(predictions) and compute_execution and (
+            execution_match(predictions[0], example.sql, db)
+        )
+        result.records.append(
+            EvalRecord(
+                example=example,
+                predictions=predictions,
+                exact_flags=flags,
+                execution_hit=execution_hit,
+            )
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Evaluation metrics (Section IV-A4).
+
+- **Translation accuracy (EM)** — Spider exact-set-match, via
+  :func:`repro.sqlkit.compare.exact_match`.
+- **Execution accuracy (EX)** — result-multiset equality after executing
+  both queries (order-sensitive only when the gold query has ORDER BY).
+- **Precision@K** — gold query present in the top-K ranked translations.
+- **Translation MRR** — mean reciprocal rank of the gold query within the
+  top-5 ranked list (reciprocal rank 0 when absent, as in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.schema.database import Database
+from repro.schema.executor import execute
+from repro.sqlkit.ast import Query, SetQuery
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.errors import SqlError
+
+
+def _has_order(query: Query) -> bool:
+    if isinstance(query, SetQuery):
+        return _has_order(query.left) or _has_order(query.right)
+    return bool(query.order_by)
+
+
+def _normalise_row(row: tuple) -> tuple:
+    out = []
+    for value in row:
+        if isinstance(value, str):
+            out.append(value.lower())
+        elif isinstance(value, float) and value.is_integer():
+            out.append(int(value))
+        elif isinstance(value, float):
+            out.append(round(value, 6))
+        else:
+            out.append(value)
+    return tuple(out)
+
+
+def execution_match(predicted: Query, gold: Query, db: Database) -> bool:
+    """EX: do both queries produce the same results on *db*?"""
+    try:
+        predicted_rows = execute(predicted, db)
+        gold_rows = execute(gold, db)
+    except SqlError:
+        return False
+    predicted_rows = [_normalise_row(r) for r in predicted_rows]
+    gold_rows = [_normalise_row(r) for r in gold_rows]
+    if _has_order(gold):
+        return predicted_rows == gold_rows
+    return Counter(predicted_rows) == Counter(gold_rows)
+
+
+def precision_at_k(ranked_hits: list[list[bool]], k: int) -> float:
+    """Fraction of questions whose top-k ranked list contains the gold query.
+
+    ``ranked_hits[i][j]`` indicates whether the j-th ranked candidate for
+    question i exactly matches its gold query.
+    """
+    if not ranked_hits:
+        return 0.0
+    hits = sum(1 for flags in ranked_hits if any(flags[:k]))
+    return hits / len(ranked_hits)
+
+
+def mrr(ranked_hits: list[list[bool]], cutoff: int = 5) -> float:
+    """Mean reciprocal rank within the top *cutoff* (0 when absent)."""
+    if not ranked_hits:
+        return 0.0
+    total = 0.0
+    for flags in ranked_hits:
+        for rank, hit in enumerate(flags[:cutoff], start=1):
+            if hit:
+                total += 1.0 / rank
+                break
+    return total / len(ranked_hits)
+
+
+def ranked_exact_flags(
+    candidates: list[Query], gold: Query, cutoff: int = 5
+) -> list[bool]:
+    """Exact-match flags of a ranked candidate list against gold."""
+    return [exact_match(c, gold) for c in candidates[:cutoff]]

@@ -1,0 +1,52 @@
+"""ASCII table rendering for benchmark reports.
+
+Each experiment prints its measured rows next to the paper's published rows
+so the reproduction's *shape* can be checked at a glance.
+"""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render a simple aligned ASCII table."""
+    columns = len(headers)
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(
+            len(headers[i]),
+            max((len(row[i]) for row in cells), default=0),
+        )
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(headers[i].ljust(widths[i]) for i in range(columns))
+    )
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell * 100:.1f}" if 0 <= cell <= 1 else f"{cell:.1f}"
+    return str(cell)
+
+
+def pct(value: float) -> str:
+    """Format a [0,1] fraction as a percentage string."""
+    return f"{value * 100:.1f}"
+
+
+def delta(measured: float, baseline: float) -> str:
+    """Render an improvement annotation like the paper's subscripts."""
+    diff = (measured - baseline) * 100
+    sign = "+" if diff >= 0 else ""
+    return f"({sign}{diff:.1f})"

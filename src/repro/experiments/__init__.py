@@ -1,0 +1,10 @@
+"""Experiment drivers: one module per paper table/figure.
+
+``repro.experiments.common`` builds and caches the shared experiment
+context (benchmarks, fitted base models, trained MetaSQL pipelines) so the
+benchmark suite trains each pipeline once and reuses it across tables.
+"""
+
+from repro.experiments.common import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

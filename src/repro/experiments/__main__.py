@@ -1,0 +1,91 @@
+"""CLI for regenerating individual paper tables/figures.
+
+Usage::
+
+    python -m repro.experiments table4 [--scale small] [--models lgesql,gpt4]
+    python -m repro.experiments fig6 --scale small
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig6,
+    supplementary,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.experiments.common import ALL_MODELS, get_context
+
+EXPERIMENTS = {
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+    "fig6": fig6,
+    "supplementary": supplementary,
+}
+
+#: experiments that accept a models tuple.
+_TAKES_MODELS = {"table4", "table5", "table6", "table7", "table8"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse CLI arguments and run the selected experiment(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("full", "small"),
+        default="full",
+        help="corpus scale (default: full)",
+    )
+    parser.add_argument(
+        "--models",
+        default=None,
+        help="comma-separated model subset (default: all six)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="evaluate only the first N dev examples",
+    )
+    args = parser.parse_args(argv)
+
+    ctx = get_context(args.scale)
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    models = (
+        tuple(args.models.split(",")) if args.models else ALL_MODELS
+    )
+    for name in names:
+        module = EXPERIMENTS[name]
+        kwargs = {"limit": args.limit}
+        if name in _TAKES_MODELS:
+            kwargs["models"] = models
+        result = module.run(ctx, **kwargs)
+        print()
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

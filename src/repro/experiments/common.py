@@ -1,0 +1,114 @@
+"""Shared experiment context with caching.
+
+Builds the SpiderSim and ScienceBenchmark-sim corpora, fits base models and
+trains MetaSQL pipelines on demand, caching everything so the full
+benchmark suite pays each training cost once.
+
+Two scales exist: ``full`` (default, used by benchmarks/) and ``small``
+(used by integration tests); select via the ``REPRO_SCALE`` environment
+variable or the *scale* argument.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.data.dataset import Benchmark, Dataset
+from repro.data.sciencebench import build_sciencebenchmark
+from repro.data.spider import build_spider
+from repro.models.base import TranslationModel
+from repro.models.registry import create_model
+
+#: The six baseline models of the paper's Table 4, in paper order.
+ALL_MODELS = ("bridge", "gap", "lgesql", "resdsql", "chatgpt", "gpt4")
+
+_SCALES = {
+    "full": {"train_per_domain": 100, "dev_per_domain": 20, "science": 100,
+             "ranker_questions": 400},
+    "small": {"train_per_domain": 35, "dev_per_domain": 6, "science": 25,
+              "ranker_questions": 120},
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily-built, cached models and datasets for all experiments."""
+
+    scale: str = "full"
+    seed: int = 7
+    _benchmark: Benchmark | None = None
+    _science: dict[str, Dataset] | None = None
+    _models: dict[str, TranslationModel] = field(default_factory=dict)
+    _pipelines: dict[tuple, MetaSQL] = field(default_factory=dict)
+
+    @property
+    def params(self) -> dict:
+        return _SCALES[self.scale]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def benchmark(self) -> Benchmark:
+        if self._benchmark is None:
+            self._benchmark = build_spider(
+                seed=self.seed,
+                train_per_domain=self.params["train_per_domain"],
+                dev_per_domain=self.params["dev_per_domain"],
+            )
+        return self._benchmark
+
+    @property
+    def science(self) -> dict[str, Dataset]:
+        if self._science is None:
+            self._science = build_sciencebenchmark(
+                per_domain=self.params["science"]
+            )
+        return self._science
+
+    # ------------------------------------------------------------------
+
+    def base_model(self, name: str) -> TranslationModel:
+        """A fitted base translation model (plain supervised training)."""
+        if name not in self._models:
+            model = create_model(name)
+            model.fit(self.benchmark.train)
+            self._models[name] = model
+        return self._models[name]
+
+    def pipeline(
+        self, name: str, config: MetaSQLConfig | None = None, key: str = ""
+    ) -> MetaSQL:
+        """A trained MetaSQL pipeline around the named base model.
+
+        Distinct configurations must pass a distinct *key* to avoid cache
+        collisions (used by the ablation experiments).
+        """
+        cache_key = (name, key)
+        if cache_key not in self._pipelines:
+            model = self.base_model(name)
+            if config is None:
+                config = MetaSQLConfig()
+            config.ranker_train_questions = min(
+                config.ranker_train_questions,
+                self.params["ranker_questions"],
+            )
+            pipe = MetaSQL(model, config)
+            pipe.train(self.benchmark.train)
+            self._pipelines[cache_key] = pipe
+        return self._pipelines[cache_key]
+
+
+_CONTEXTS: dict[str, ExperimentContext] = {}
+
+
+def get_context(scale: str | None = None) -> ExperimentContext:
+    """The process-wide cached context for *scale* (env default)."""
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "full")
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}; use one of {sorted(_SCALES)}")
+    if scale not in _CONTEXTS:
+        _CONTEXTS[scale] = ExperimentContext(scale=scale)
+    return _CONTEXTS[scale]

@@ -1,0 +1,192 @@
+"""Figure 6: metadata sensitivity analysis (LGESQL-sim).
+
+Four sweeps over how metadata is supplied at inference time:
+
+- **6a** — classification threshold p from 0 down to -60 (noisier labels);
+- **6b** — correctness indicator: correct / incorrect / none;
+- **6c** — hardness value: predicted / oracle / fixed values;
+- **6d** — operator tags: predicted / oracle / random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metadata import (
+    CORRECT,
+    INCORRECT,
+    QueryMetadata,
+    TAG_VOCABULARY,
+    extract_metadata,
+)
+from repro.eval.report import format_table, pct
+from repro.experiments.common import ExperimentContext
+from repro.sqlkit.compare import exact_match
+
+#: Paper reference points (LGESQL + MetaSQL on SPIDER dev).
+PAPER = {
+    "baseline_em": 75.1,
+    "metasql_em": 77.4,
+    "oracle_tags_em": 81.3,
+    "threshold_shape": "EM degrades as p decreases below -10",
+}
+
+
+@dataclass
+class Fig6Result:
+    """The four sensitivity sweeps of Figure 6."""
+    threshold_sweep: dict[float, float] = field(default_factory=dict)  # 6a
+    correctness: dict[str, float] = field(default_factory=dict)  # 6b
+    hardness: dict[str, float] = field(default_factory=dict)  # 6c
+    tags: dict[str, float] = field(default_factory=dict)  # 6d
+
+    def render(self) -> str:
+        sections = []
+        sections.append(
+            format_table(
+                ["threshold p", "EM"],
+                [[p, pct(em)] for p, em in self.threshold_sweep.items()],
+                title="Fig 6a: EM vs classification threshold",
+            )
+        )
+        sections.append(
+            format_table(
+                ["correctness indicator", "EM"],
+                [[k, pct(v)] for k, v in self.correctness.items()],
+                title="Fig 6b: EM vs correctness indicator",
+            )
+        )
+        sections.append(
+            format_table(
+                ["hardness setting", "EM"],
+                [[k, pct(v)] for k, v in self.hardness.items()],
+                title="Fig 6c: EM vs hardness value",
+            )
+        )
+        sections.append(
+            format_table(
+                ["operator tags", "EM"],
+                [[k, pct(v)] for k, v in self.tags.items()],
+                title="Fig 6d: EM vs operator tags (paper oracle: 81.3)",
+            )
+        )
+        return "\n\n".join(sections)
+
+
+def _em_with_compositions(pipe, dev, examples, composer) -> float:
+    correct = 0
+    for example in examples:
+        db = dev.database(example.db_id)
+        compositions = composer(example, db)
+        ranked = pipe.translate_ranked(
+            example.question, db, compositions=compositions
+        )
+        if ranked and exact_match(ranked[0].query, example.sql):
+            correct += 1
+    return correct / max(len(examples), 1)
+
+
+def run(
+    ctx: ExperimentContext,
+    model: str = "lgesql",
+    limit: int | None = None,
+    thresholds: tuple[float, ...] = (0.0, -5.0, -10.0, -20.0, -40.0, -60.0),
+) -> Fig6Result:
+    """Run all four Figure 6 metadata-sensitivity sweeps."""
+    result = Fig6Result()
+    pipe = ctx.pipeline(model)
+    dev = ctx.benchmark.dev
+    examples = dev.examples[:limit] if limit else dev.examples
+    rng = np.random.default_rng(999)
+
+    # 6a: threshold sweep — noisier label sets as p decreases.
+    for threshold in thresholds:
+        def compose_threshold(example, db, _t=threshold):
+            tags, ratings = pipe.classifier.predict(
+                example.question, db, threshold=_t
+            )
+            return pipe.composer.compose(tags, ratings)
+
+        result.threshold_sweep[threshold] = _em_with_compositions(
+            pipe, dev, examples, compose_threshold
+        )
+
+    # 6b: correctness indicator variants.
+    for label, indicator in (
+        ("correct", CORRECT),
+        ("incorrect", INCORRECT),
+        ("none", "none"),
+    ):
+        def compose_indicator(example, db, _i=indicator):
+            tags, ratings = pipe.classifier.predict(example.question, db)
+            return [
+                m.with_correctness(_i)
+                for m in pipe.composer.compose(tags, ratings)
+            ]
+
+        result.correctness[label] = _em_with_compositions(
+            pipe, dev, examples, compose_indicator
+        )
+
+    # 6c: hardness value variants.
+    def hardness_variant(rating_of):
+        def compose(example, db):
+            tags, ratings = pipe.classifier.predict(example.question, db)
+            fixed = rating_of(example)
+            base = pipe.composer.compose(tags, [fixed])
+            if not base:
+                base = pipe.composer.compose(tags, ratings)
+            return [m.with_rating(fixed) for m in base]
+
+        return compose
+
+    result.hardness["predicted"] = result.threshold_sweep.get(
+        0.0,
+        _em_with_compositions(
+            pipe,
+            dev,
+            examples,
+            lambda e, db: pipe.composer.compose(
+                *pipe.classifier.predict(e.question, db)
+            ),
+        ),
+    )
+    result.hardness["oracle"] = _em_with_compositions(
+        pipe, dev, examples, hardness_variant(lambda e: e.rating)
+    )
+    for fixed in (100, 250, 450):
+        result.hardness[f"fixed:{fixed}"] = _em_with_compositions(
+            pipe, dev, examples, hardness_variant(lambda e, _f=fixed: _f)
+        )
+
+    # 6d: operator tag variants.
+    result.tags["predicted"] = result.hardness["predicted"]
+
+    def compose_oracle_tags(example, db):
+        gold = extract_metadata(example.sql)
+        __, ratings = pipe.classifier.predict(example.question, db)
+        compositions = pipe.composer.compose(set(gold.tags), ratings)
+        if not compositions:
+            compositions = [gold]
+        return compositions
+
+    result.tags["oracle"] = _em_with_compositions(
+        pipe, dev, examples, compose_oracle_tags
+    )
+
+    def compose_random_tags(example, db):
+        __, ratings = pipe.classifier.predict(example.question, db)
+        sampled = {
+            t for t in TAG_VOCABULARY if rng.random() < 0.35
+        } | {"project"}
+        compositions = pipe.composer.compose(sampled, ratings)
+        if not compositions:
+            compositions = pipe.composer.all_compositions(limit=4)
+        return compositions
+
+    result.tags["random"] = _em_with_compositions(
+        pipe, dev, examples, compose_random_tags
+    )
+    return result

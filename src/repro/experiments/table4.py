@@ -1,0 +1,109 @@
+"""Table 4: overall translation results on both benchmarks.
+
+For every baseline model, EM/EX on SpiderSim-dev with and without MetaSQL,
+plus EM on the three ScienceBenchmark-sim databases (zero-shot; the paper
+reports EM only there because the Cordis/SDSS database files are
+inaccessible — we mirror that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.evaluate import evaluate_metasql, evaluate_model
+from repro.eval.report import format_table, pct
+from repro.experiments.common import ALL_MODELS, ExperimentContext
+
+#: Paper-published rows (SPIDER-dev EM/EX; Science EM oncomx/cordis/sdss).
+PAPER_ROWS = {
+    "bridge": {"em": 68.7, "ex": 68.0, "science": (16.5, 23.0, 5.0)},
+    "bridge+metasql": {"em": 70.5, "ex": 69.2, "science": (18.6, 25.0, 7.0)},
+    "gap": {"em": 71.8, "ex": 34.9, "science": (33.0, 20.0, 5.0)},
+    "gap+metasql": {"em": 73.4, "ex": 37.2, "science": (35.0, 20.0, 6.0)},
+    "lgesql": {"em": 75.1, "ex": 36.3, "science": (41.7, 24.0, 4.0)},
+    "lgesql+metasql": {"em": 77.4, "ex": 42.0, "science": (42.7, 28.0, 12.0)},
+    "resdsql": {"em": 75.8, "ex": 80.1, "science": (42.7, 29.0, 4.0)},
+    "resdsql+metasql": {"em": 76.9, "ex": 81.5, "science": (49.7, 33.0, 10.0)},
+    "chatgpt": {"em": 51.5, "ex": 65.3, "science": (51.2, 40.0, 11.0)},
+    "chatgpt+metasql": {"em": 65.1, "ex": 74.2, "science": (53.2, 42.0, 16.0)},
+    "gpt4": {"em": 54.3, "ex": 67.4, "science": (65.7, 42.0, 15.0)},
+    "gpt4+metasql": {"em": 69.6, "ex": 76.8, "science": (68.6, 42.0, 17.6)},
+}
+
+SCIENCE_ORDER = ("oncomx", "cordis", "sdss")
+
+
+@dataclass
+class Table4Result:
+    """Measured Table 4 rows keyed by model name."""
+    rows: dict[str, dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = [
+            "model", "EM%", "EX%",
+            "EM%(oncomx)", "EM%(cordis)", "EM%(sdss)",
+            "paper EM%", "paper EX%",
+        ]
+        body = []
+        for name, row in self.rows.items():
+            paper = PAPER_ROWS.get(name, {})
+            body.append(
+                [
+                    name,
+                    pct(row["em"]),
+                    pct(row["ex"]),
+                    pct(row["science"][0]),
+                    pct(row["science"][1]),
+                    pct(row["science"][2]),
+                    paper.get("em", "-"),
+                    paper.get("ex", "-"),
+                ]
+            )
+        return format_table(
+            headers, body, title="Table 4: translation results (measured vs paper)"
+        )
+
+
+def run(
+    ctx: ExperimentContext,
+    models: tuple[str, ...] = ALL_MODELS,
+    limit: int | None = None,
+) -> Table4Result:
+    """Run the Table 4 experiment over *models* on the context's data."""
+    result = Table4Result()
+    dev = ctx.benchmark.dev
+    for name in models:
+        model = ctx.base_model(name)
+        base_eval = evaluate_model(model, dev, limit=limit)
+        base_science = [
+            evaluate_model(
+                model,
+                ctx.science[db_id],
+                compute_execution=False,
+                limit=limit,
+            ).em
+            for db_id in SCIENCE_ORDER
+        ]
+        result.rows[name] = {
+            "em": base_eval.em,
+            "ex": base_eval.ex,
+            "science": tuple(base_science),
+        }
+
+        pipe = ctx.pipeline(name)
+        meta_eval = evaluate_metasql(pipe, dev, limit=limit)
+        meta_science = [
+            evaluate_metasql(
+                pipe,
+                ctx.science[db_id],
+                compute_execution=False,
+                limit=limit,
+            ).em
+            for db_id in SCIENCE_ORDER
+        ]
+        result.rows[f"{name}+metasql"] = {
+            "em": meta_eval.em,
+            "ex": meta_eval.ex,
+            "science": tuple(meta_science),
+        }
+    return result

@@ -1,0 +1,72 @@
+"""Table 5: EM on SpiderSim-dev broken down by SQL difficulty level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.evaluate import evaluate_metasql, evaluate_model
+from repro.eval.report import format_table, pct
+from repro.experiments.common import ALL_MODELS, ExperimentContext
+
+PAPER_ROWS = {
+    "bridge": (91.1, 73.3, 54.0, 39.2, 68.7),
+    "bridge+metasql": (89.1, 75.3, 58.0, 42.8, 70.5),
+    "gap": (91.5, 74.2, 64.4, 44.2, 71.8),
+    "gap+metasql": (91.5, 75.9, 64.9, 43.4, 73.4),
+    "lgesql": (91.9, 77.4, 65.5, 53.0, 75.1),
+    "lgesql+metasql": (94.0, 81.4, 70.1, 49.4, 77.4),
+    "resdsql": (90.3, 82.7, 62.6, 47.0, 75.8),
+    "resdsql+metasql": (92.5, 83.9, 64.1, 48.2, 76.9),
+    "chatgpt": (85.7, 52.6, 31.6, 14.6, 51.5),
+    "chatgpt+metasql": (89.0, 66.2, 40.8, 24.4, 65.1),
+    "gpt4": (82.2, 51.3, 42.5, 36.1, 54.3),
+    "gpt4+metasql": (91.1, 64.1, 74.7, 47.2, 69.6),
+}
+
+LEVELS = ("easy", "medium", "hard", "extra")
+
+
+@dataclass
+class Table5Result:
+    """Measured Table 5 rows keyed by model name."""
+    rows: dict[str, dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["model", "easy", "medium", "hard", "extra", "overall",
+                   "paper overall"]
+        body = []
+        for name, row in self.rows.items():
+            paper = PAPER_ROWS.get(name)
+            body.append(
+                [name]
+                + [pct(row[level]) for level in LEVELS]
+                + [pct(row["overall"]), paper[-1] if paper else "-"]
+            )
+        return format_table(
+            headers, body, title="Table 5: EM by SQL difficulty level"
+        )
+
+
+def run(
+    ctx: ExperimentContext,
+    models: tuple[str, ...] = ALL_MODELS,
+    limit: int | None = None,
+) -> Table5Result:
+    """Run the Table 5 experiment (EM by difficulty level)."""
+    result = Table5Result()
+    dev = ctx.benchmark.dev
+    for name in models:
+        base_eval = evaluate_model(
+            ctx.base_model(name), dev, compute_execution=False, limit=limit
+        )
+        row = base_eval.em_by_hardness()
+        row["overall"] = base_eval.em
+        result.rows[name] = row
+
+        meta_eval = evaluate_metasql(
+            ctx.pipeline(name), dev, compute_execution=False, limit=limit
+        )
+        row = meta_eval.em_by_hardness()
+        row["overall"] = meta_eval.em
+        result.rows[f"{name}+metasql"] = row
+    return result

@@ -1,0 +1,66 @@
+"""Table 6: EM on SpiderSim-dev broken down by SQL statement type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.evaluate import evaluate_metasql, evaluate_model
+from repro.eval.report import format_table, pct
+from repro.experiments.common import ALL_MODELS, ExperimentContext
+
+PAPER_ROWS = {
+    "bridge": (42.8, 52.9, 63.6, 56.8),
+    "bridge+metasql": (39.6, 49.5, 70.6, 63.8),
+    "gap": (47.2, 62.1, 60.0, 67.9),
+    "gap+metasql": (44.7, 56.8, 73.2, 68.6),
+    "lgesql": (54.1, 62.1, 67.9, 67.9),
+    "lgesql+metasql": (51.6, 62.1, 78.8, 69.7),
+    "resdsql": (50.3, 57.9, 74.0, 72.0),
+    "resdsql+metasql": (50.0, 59.1, 75.6, 73.1),
+    "chatgpt": (28.3, 29.5, 47.4, 42.0),
+    "chatgpt+metasql": (33.3, 44.4, 54.5, 43.1),
+    "gpt4": (36.5, 45.0, 46.0, 50.7),
+    "gpt4+metasql": (46.0, 55.0, 74.0, 51.9),
+}
+
+TYPES = ("orderby", "groupby", "nested", "negation")
+
+
+@dataclass
+class Table6Result:
+    """Measured Table 6 rows plus statement-type counts."""
+    rows: dict[str, dict] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["model", "ORDER BY", "GROUP BY", "nested", "negation"]
+        body = [
+            [name] + [pct(row[t]) for t in TYPES]
+            for name, row in self.rows.items()
+        ]
+        title = (
+            "Table 6: EM by SQL statement type "
+            f"(counts: {self.counts})"
+        )
+        return format_table(headers, body, title=title)
+
+
+def run(
+    ctx: ExperimentContext,
+    models: tuple[str, ...] = ALL_MODELS,
+    limit: int | None = None,
+) -> Table6Result:
+    """Run the Table 6 experiment (EM by statement type)."""
+    result = Table6Result()
+    dev = ctx.benchmark.dev
+    for name in models:
+        base_eval = evaluate_model(
+            ctx.base_model(name), dev, compute_execution=False, limit=limit
+        )
+        result.rows[name] = base_eval.em_by_statement_type()
+        result.counts = base_eval.counts_by_statement_type()
+        meta_eval = evaluate_metasql(
+            ctx.pipeline(name), dev, compute_execution=False, limit=limit
+        )
+        result.rows[f"{name}+metasql"] = meta_eval.em_by_statement_type()
+    return result

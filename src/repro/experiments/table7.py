@@ -1,0 +1,64 @@
+"""Table 7: translation Precision@K and MRR of MetaSQL's ranked lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.evaluate import evaluate_metasql
+from repro.eval.report import format_table, pct
+from repro.experiments.common import ALL_MODELS, ExperimentContext
+
+PAPER_ROWS = {
+    "bridge+metasql": (73.8, 70.5, 76.7, 78.6),
+    "gap+metasql": (76.4, 73.4, 79.9, 81.0),
+    "lgesql+metasql": (78.2, 76.8, 79.6, 80.9),
+    "resdsql+metasql": (78.8, 77.2, 80.6, 80.1),
+    "chatgpt+metasql": (52.6, 51.5, 64.3, 64.5),
+    "gpt4+metasql": (69.6, 69.6, 72.5, 72.5),
+}
+
+
+@dataclass
+class Table7Result:
+    """Measured Table 7 rows (MRR / P@1 / P@3 / P@5)."""
+    rows: dict[str, dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["model", "MRR", "P@1", "P@3", "P@5", "paper MRR"]
+        body = []
+        for name, row in self.rows.items():
+            paper = PAPER_ROWS.get(name)
+            body.append(
+                [
+                    name,
+                    pct(row["mrr"]),
+                    pct(row["p1"]),
+                    pct(row["p3"]),
+                    pct(row["p5"]),
+                    paper[0] if paper else "-",
+                ]
+            )
+        return format_table(
+            headers, body, title="Table 7: Precision@K and MRR on SpiderSim-dev"
+        )
+
+
+def run(
+    ctx: ExperimentContext,
+    models: tuple[str, ...] = ALL_MODELS,
+    limit: int | None = None,
+) -> Table7Result:
+    """Run the Table 7 experiment (ranking precision and MRR)."""
+    result = Table7Result()
+    dev = ctx.benchmark.dev
+    for name in models:
+        meta_eval = evaluate_metasql(
+            ctx.pipeline(name), dev, compute_execution=False, limit=limit
+        )
+        result.rows[f"{name}+metasql"] = {
+            "mrr": meta_eval.mrr,
+            "p1": meta_eval.precision_at(1),
+            "p3": meta_eval.precision_at(3),
+            "p5": meta_eval.precision_at(5),
+        }
+    return result

@@ -1,0 +1,108 @@
+"""Table 8: stage-wise accuracy of the pipeline.
+
+- **Metadata selection accuracy** — can the classifier's predicted labels
+  compose the ground-truth metadata (gold tags selected and gold rating
+  among predicted ratings)?  One number per context (the classifier is
+  shared, as in the paper).
+- **Metadata-conditioned generation accuracy** — conditioned on the
+  *ground-truth* metadata, does any decoded candidate match gold?
+- **Ranking accuracy** — translation MRR when the candidate lists are
+  generated from ground-truth metadata compositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metadata import extract_metadata
+from repro.eval.metrics import mrr
+from repro.eval.report import format_table, pct
+from repro.experiments.common import ExperimentContext
+from repro.sqlkit.compare import exact_match
+
+PAPER_ROWS = {
+    "bridge+metasql": (91.4, 77.3, 87.1),
+    "gap+metasql": (91.4, 77.9, 88.4),
+    "lgesql+metasql": (91.4, 82.7, 90.3),
+    "resdsql+metasql": (91.4, 83.1, 89.6),
+}
+
+
+@dataclass
+class Table8Result:
+    """Stage-wise accuracies per model plus the shared selection accuracy."""
+    selection_accuracy: float = 0.0
+    rows: dict[str, dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = [
+            "model", "metadata selection", "conditioned generation",
+            "ranking (MRR)", "paper (sel/gen/rank)",
+        ]
+        body = []
+        for name, row in self.rows.items():
+            paper = PAPER_ROWS.get(name)
+            body.append(
+                [
+                    name,
+                    pct(self.selection_accuracy),
+                    pct(row["generation"]),
+                    pct(row["ranking"]),
+                    "/".join(str(v) for v in paper) if paper else "-",
+                ]
+            )
+        return format_table(headers, body, title="Table 8: stage-wise accuracy")
+
+
+def metadata_selection_accuracy(ctx: ExperimentContext, limit=None) -> float:
+    """Fraction of dev questions whose predicted labels cover the gold metadata."""
+    # The paper uses a unified classifier built on LGESQL.
+    pipeline = ctx.pipeline("lgesql")
+    dev = ctx.benchmark.dev
+    examples = dev.examples[:limit] if limit else dev.examples
+    hits = 0
+    for example in examples:
+        db = dev.database(example.db_id)
+        gold = extract_metadata(example.sql)
+        tags, ratings = pipeline.classifier.predict(example.question, db)
+        tags = set(tags) | {"project"}
+        covered = gold.tags <= tags and any(
+            abs(r - gold.rating) <= 100 for r in ratings
+        )
+        hits += covered
+    return hits / max(len(examples), 1)
+
+
+def run(
+    ctx: ExperimentContext,
+    models: tuple[str, ...] = ("bridge", "gap", "lgesql", "resdsql"),
+    limit: int | None = None,
+) -> Table8Result:
+    """Run the Table 8 experiment (stage-wise accuracy)."""
+    result = Table8Result()
+    result.selection_accuracy = metadata_selection_accuracy(ctx, limit=limit)
+    dev = ctx.benchmark.dev
+    examples = dev.examples[:limit] if limit else dev.examples
+    for name in models:
+        pipe = ctx.pipeline(name)
+        generation_hits = 0
+        ranked_flags = []
+        for example in examples:
+            db = dev.database(example.db_id)
+            gold_meta = extract_metadata(example.sql)
+            candidates = pipe.candidates(
+                example.question, db, compositions=[gold_meta]
+            )
+            if any(exact_match(c.query, example.sql) for c in candidates):
+                generation_hits += 1
+            ranked = pipe.translate_ranked(
+                example.question, db, compositions=[gold_meta]
+            )
+            ranked_flags.append(
+                [exact_match(r.query, example.sql) for r in ranked[:5]]
+            )
+        result.rows[f"{name}+metasql"] = {
+            "generation": generation_hits / max(len(examples), 1),
+            "ranking": mrr(ranked_flags),
+        }
+    return result

@@ -1,0 +1,22 @@
+"""Simulated base NL2SQL translation models.
+
+Stand-ins for the paper's BRIDGE/GAP/LGESQL/RESDSQL (Seq2seq) and
+ChatGPT/GPT-4 (LLM) baselines: grammar-based semantic parsers with learned
+lexicon alignment, sketch prediction and auto-regressive beam-search
+decoding.  Presets in :mod:`repro.models.registry` mirror each baseline's
+capability profile.
+"""
+
+from repro.models.base import Candidate, TranslationModel
+from repro.models.llm import FewShotLLM
+from repro.models.registry import MODEL_PRESETS, create_model
+from repro.models.seq2seq import GrammarSeq2Seq
+
+__all__ = [
+    "Candidate",
+    "TranslationModel",
+    "GrammarSeq2Seq",
+    "FewShotLLM",
+    "create_model",
+    "MODEL_PRESETS",
+]

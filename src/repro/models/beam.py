@@ -1,0 +1,57 @@
+"""Generic beam search over staged decisions.
+
+The decoder expands partial states stage by stage: each stage maps a state
+to scored choices; the beam keeps the top ``width`` states by cumulative
+score.  This is the auto-regressive skeleton shared by the Seq2seq and LLM
+sims — decisions are local and made left-to-right, which is exactly the
+failure mode MetaSQL targets (Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+State = TypeVar("State")
+
+
+@dataclass(frozen=True)
+class Beam(Generic[State]):
+    """A scored partial state."""
+
+    score: float
+    state: State
+
+
+def expand(
+    beams: list[Beam],
+    expander: Callable[[object], list[tuple[float, object]]],
+    width: int,
+) -> list[Beam]:
+    """One beam-search step: expand every state, keep the best *width*.
+
+    *expander* maps a state to ``[(choice_logprob, next_state), ...]``; an
+    empty expansion keeps the state as-is (the stage does not apply).
+    """
+    next_beams: list[Beam] = []
+    for beam in beams:
+        choices = expander(beam.state)
+        if not choices:
+            next_beams.append(beam)
+            continue
+        for logprob, next_state in choices:
+            next_beams.append(Beam(score=beam.score + logprob, state=next_state))
+    next_beams.sort(key=lambda b: -b.score)
+    return next_beams[:width]
+
+
+def run(
+    initial: list[Beam],
+    stages: list[Callable[[object], list[tuple[float, object]]]],
+    width: int,
+) -> list[Beam]:
+    """Run all *stages* in order, returning the final beam (best first)."""
+    beams = sorted(initial, key=lambda b: -b.score)[:width]
+    for stage in stages:
+        beams = expand(beams, stage, width)
+    return beams

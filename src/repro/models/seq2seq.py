@@ -1,0 +1,1070 @@
+"""GrammarSeq2Seq: the simulated Seq2seq NL2SQL translation model.
+
+A sketch-then-fill semantic parser with genuinely auto-regressive decoding:
+a learned sketch classifier proposes clause structures, then beam search
+fills tables, columns, predicates and values left-to-right, scored by the
+learned lexicon plus per-question deterministic decision noise.  Four
+presets (:mod:`repro.models.registry`) mirror BRIDGE/GAP/LGESQL/RESDSQL
+capability profiles.
+
+Metadata conditioning (Section III-B2): when the model was trained with
+metadata prefixes (``metadata_trained``), a supplied
+:class:`~repro.core.metadata.QueryMetadata` constrains the sketch stage —
+operator tags select compatible structures, the hardness value biases the
+structural size, and the correctness indicator modulates decode fidelity.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.models import beam as beamlib
+from repro.models.base import Candidate, TranslationModel
+from repro.models.lexicon import Lexicon, content_tokens
+from repro.models.mentions import (
+    NumberMention,
+    extract_mentions,
+    question_tokens,
+)
+from repro.models.sketch import Sketch, SketchModel
+from repro.schema.database import Database
+from repro.schema.schema import NUMBER, TEXT, Schema
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    FromClause,
+    JoinCond,
+    Literal,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+)
+from repro.sqlkit.hardness import RATING_BASE, RATING_SCORES
+from repro.sqlkit.printer import to_sql
+
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)?")
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Capability knobs distinguishing the simulated baselines."""
+
+    name: str
+    temperature: float = 0.7  # scale of per-decision Gumbel noise
+    sketch_top: int = 4  # how many sketch structures enter the beam
+    column_noise: float = 0.4  # extra noise on column-choice scores
+    value_skill: float = 1.0  # weight on value-evidence in predicate scores
+    predicts_values: bool = True
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class _State:
+    """Partial decode state for one sketch."""
+
+    sketch: Sketch
+    tables: tuple[str, ...] = ()
+    joins: tuple[JoinCond, ...] = ()
+    select: tuple = ()
+    where_predicates: tuple[Predicate, ...] = ()
+    connectors: tuple[str, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    having: Condition | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    setop_right: Query | None = None
+    from_inner: Query | None = None
+
+
+def estimate_rating(sketch: Sketch) -> int:
+    """Approximate hardness rating implied by a sketch's structure."""
+    rating = RATING_BASE
+    if sketch.n_tables > 1:
+        rating += RATING_SCORES["join"] * (sketch.n_tables - 1)
+    if sketch.n_predicates > 0:
+        rating += RATING_SCORES["where"]
+        rating += RATING_SCORES["extra_predicate"] * (sketch.n_predicates - 1)
+    if sketch.shape.startswith("nested:"):
+        rating += RATING_SCORES["subquery"] + RATING_SCORES["where"]
+    if sketch.shape == "from_subquery":
+        rating += RATING_SCORES["subquery"] + RATING_SCORES["group"]
+        rating += RATING_SCORES["having"]
+    if sketch.shape.startswith("setop:"):
+        rating += RATING_SCORES["setop"] + RATING_SCORES["where"]
+    if sketch.has_group:
+        rating += RATING_SCORES["group"]
+    if sketch.has_having:
+        rating += RATING_SCORES["having"]
+    if sketch.order != "none":
+        rating += RATING_SCORES["order"]
+    if sketch.limit != "none":
+        rating += RATING_SCORES["limit"]
+    n_aggs = len(sketch.select_aggs) + (1 if sketch.count_star else 0)
+    if sketch.order_on_agg:
+        n_aggs += 1
+    if n_aggs > 1:
+        rating += RATING_SCORES["agg"] * (n_aggs - 1)
+    return rating
+
+
+class GrammarSeq2Seq(TranslationModel):
+    """Sketch-then-fill grammar parser with beam-search decoding."""
+
+    def __init__(self, profile: ModelProfile) -> None:
+        self.profile = profile
+        self.name = profile.name
+        self.predicts_values = profile.predicts_values
+        self.metadata_trained = False
+        self.lexicon = Lexicon()
+        self.sketch_model = SketchModel()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training.
+
+    def fit(self, train: Dataset, with_metadata: bool = False) -> "GrammarSeq2Seq":
+        """Learn lexicon + sketch statistics; optionally metadata-augmented.
+
+        ``with_metadata=True`` corresponds to the paper's augmented training
+        (metadata prefixes + negative samples): the model then honours
+        metadata conditions at decode time.
+        """
+        self.lexicon = Lexicon().fit(train)
+        self.sketch_model = SketchModel().fit(train)
+        self.metadata_trained = with_metadata
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Decoding entry point.
+
+    def translate(
+        self,
+        question: str,
+        db: Database,
+        metadata=None,
+        beam_size: int = 5,
+    ) -> list[Candidate]:
+        """Decode up to *beam_size* candidates via staged beam search."""
+        if not self._fitted:
+            raise RuntimeError(f"model {self.name} is not fitted")
+        if not self.metadata_trained:
+            # Models not trained with metadata prefixes ignore the condition
+            # entirely (Section III-B1).
+            metadata = None
+        rng = self._decode_rng(question, metadata)
+        noise_scale = self.profile.temperature
+        if metadata is not None and self.metadata_trained:
+            indicator = getattr(metadata, "correctness", "correct")
+            if indicator == "incorrect":
+                # Trained to avoid the gold parse under the incorrect tag:
+                # decoding becomes adversarially noisy.
+                noise_scale = noise_scale * 3.0 + 1.5
+            elif indicator is None or indicator == "none":
+                noise_scale = noise_scale * 1.4 + 0.2
+
+        sketches = self._candidate_sketches(question, metadata, db)
+        if not sketches:
+            return []
+
+        context = _Context(
+            model=self,
+            question=question,
+            db=db,
+            rng=rng,
+            noise=noise_scale,
+        )
+        initial = [
+            beamlib.Beam(score=score, state=_State(sketch=sk))
+            for score, sk in sketches
+        ]
+        stages = [
+            context.stage_tables,
+            context.stage_select,
+            context.stage_where,
+            context.stage_group,
+            context.stage_having,
+            context.stage_order,
+            context.stage_setop,
+        ]
+        width = max(beam_size * 3, 8)
+        final = beamlib.run(initial, stages, width)
+
+        candidates: list[Candidate] = []
+        seen: set[str] = set()
+        for item in final:
+            query = context.finalize(item.state)
+            if query is None:
+                continue
+            key = to_sql(query)
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append(Candidate(query=query, score=item.score))
+            if len(candidates) >= beam_size:
+                break
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Sketch stage.
+
+    def _candidate_sketches(
+        self, question: str, metadata, db: Database
+    ) -> list[tuple[float, Sketch]]:
+        from repro.models.cues import extract_cues
+
+        cues = extract_cues(question, db)
+        scored = self.sketch_model.score_sketches(question, cues=cues)
+        if metadata is not None and self.metadata_trained:
+            tags = frozenset(getattr(metadata, "tags", frozenset()))
+            if tags:
+                matching = [
+                    (score, sk)
+                    for score, sk in scored
+                    if sk.operator_tags() == tags
+                ]
+                if not matching:
+                    # Relax to supersets/subsets differing by soft tags only.
+                    soft = {"agg", "limit", "having"}
+                    matching = [
+                        (score, sk)
+                        for score, sk in scored
+                        if sk.operator_tags() - soft == tags - soft
+                    ]
+                if matching:
+                    scored = matching
+            rating = getattr(metadata, "rating", None)
+            if rating is not None:
+                scored = [
+                    (score - abs(estimate_rating(sk) - rating) / 200.0, sk)
+                    for score, sk in scored
+                ]
+                scored.sort(key=lambda item: -item[0])
+            scored = self._apply_correctness(question, metadata, scored)
+        return scored[: self.profile.sketch_top]
+
+    def _apply_correctness(self, question, metadata, scored):
+        """Honour the correctness indicator at the sketch stage.
+
+        Trained with ``incorrect``-tagged negative samples, the model has
+        learned to associate that indicator with structures that do *not*
+        fit the question: conditioning on it inverts the sketch preference.
+        A missing indicator (never seen during augmented training) leaves
+        the model partially uncalibrated: sketch scores get jittered.
+        """
+        indicator = getattr(metadata, "correctness", "correct")
+        if indicator == "incorrect":
+            flipped = [(-score, sketch) for score, sketch in scored]
+            flipped.sort(key=lambda item: -item[0])
+            return flipped
+        if indicator is None or indicator == "none":
+            rng = self._decode_rng(question, metadata)
+            jittered = [
+                (score + float(rng.normal(0.0, 2.5)), sketch)
+                for score, sketch in scored
+            ]
+            jittered.sort(key=lambda item: -item[0])
+            return jittered
+        return scored
+
+    def _decode_rng(self, question: str, metadata) -> np.random.Generator:
+        meta_part = "" if metadata is None else repr(metadata)
+        digest = zlib.crc32(
+            f"{self.profile.seed}:{self.name}:{question}:{meta_part}".encode()
+        )
+        return np.random.default_rng(digest)
+
+
+class _Context:
+    """Per-question decode context: scoring, stages and finalisation."""
+
+    def __init__(
+        self,
+        model: GrammarSeq2Seq,
+        question: str,
+        db: Database,
+        rng: np.random.Generator,
+        noise: float,
+    ) -> None:
+        self.model = model
+        self.profile = model.profile
+        self.lexicon = model.lexicon
+        self.question = question
+        self.db = db
+        self.schema: Schema = db.schema
+        self.rng = rng
+        self.noise = noise
+        self.tokens = set(content_tokens(question))
+        self.qtokens = question_tokens(question)
+        self.mentions = extract_mentions(question)
+        #: mentions usable as WHERE comparison values.
+        self.cmp_mentions = [
+            m
+            for m in self.mentions
+            if not (m.is_limit or m.is_count_threshold or m.is_between_bound)
+        ]
+        self._phrase_cache: dict[str, list[int]] = {}
+        # Question regions: projections are phrased before the first
+        # table/filter marker, grouping after "for each"/"per", ordering
+        # after sort/superlative markers.
+        markers = {
+            "of", "from", "for", "whose", "with", "that", "who", "which",
+            "sorted", "ordered", "per", "grouped", "but", "excluding",
+        }
+        self._proj_end = next(
+            (i for i, t in enumerate(self.qtokens) if t in markers and i > 0),
+            len(self.qtokens),
+        )
+        self._group_pos = self._find_marker(("each", "per", "grouped"))
+        self._order_pos = self._find_marker(
+            ("sorted", "ordered", "highest", "lowest", "largest",
+             "smallest", "top")
+        )
+
+    def _find_marker(self, words: tuple[str, ...]) -> int | None:
+        for index, token in enumerate(self.qtokens):
+            if token in words:
+                return index
+        return None
+
+    # -- noise ---------------------------------------------------------
+
+    def _gumbel(self, scale: float = 1.0) -> float:
+        u = float(self.rng.uniform(1e-9, 1.0 - 1e-9))
+        return -np.log(-np.log(u)) * self.noise * scale
+
+    @staticmethod
+    def _log_normalize(choices):
+        """Rescale stage choices to log-probabilities (length-bias free)."""
+        if not choices:
+            return choices
+        scores = np.array([score for score, __ in choices])
+        peak = scores.max()
+        lse = peak + np.log(np.exp(scores - peak).sum())
+        return [(float(score - lse), state) for score, state in choices]
+
+    # -- element scores --------------------------------------------------
+
+    def _table_score(self, table_name: str) -> float:
+        table = self.schema.table(table_name)
+        return self.lexicon.score_table(
+            self.question, self.schema.db_id, table
+        ) + self._gumbel(0.6)
+
+    def _column_score(self, table_name: str, column_name: str) -> float:
+        table = self.schema.table(table_name)
+        base = self.lexicon.score_column(
+            self.question, self.schema.db_id, table, column_name
+        )
+        return base + self._gumbel(self.profile.column_noise)
+
+    def _ranked_columns(
+        self, tables: tuple[str, ...], ctype: str | None = None
+    ) -> list[tuple[float, ColumnRef]]:
+        scored = []
+        for table_name in tables:
+            table = self.schema.table(table_name)
+            for column in table.columns:
+                if ctype is not None and column.ctype != ctype:
+                    continue
+                score = self._column_score(table_name, column.name)
+                scored.append(
+                    (
+                        score,
+                        ColumnRef(
+                            column=column.name.lower(), table=table_name.lower()
+                        ),
+                    )
+                )
+        scored.sort(key=lambda item: -item[0])
+        return scored
+
+    # -- stage 1: tables -------------------------------------------------
+
+    def stage_tables(self, state: _State):
+        """Stage 1: choose the FROM tables (single, FK pair, or chain)."""
+        sketch = state.sketch
+        choices = []
+        if sketch.n_tables <= 1:
+            scored = sorted(
+                ((self._table_score(t.name), t.name.lower()) for t in self.schema.tables),
+                key=lambda item: -item[0],
+            )
+            for score, name in scored[:3]:
+                choices.append((score, replace(state, tables=(name,))))
+            return self._log_normalize(choices)
+        # Join: FK-linked pairs, or FK chains of three tables.
+        def fk_join(fk) -> JoinCond:
+            return JoinCond(
+                left=ColumnRef(
+                    column=fk.child_column.lower(),
+                    table=fk.child_table.lower(),
+                ),
+                right=ColumnRef(
+                    column=fk.parent_column.lower(),
+                    table=fk.parent_table.lower(),
+                ),
+            )
+
+        options = []
+        if sketch.n_tables >= 3:
+            fks = self.schema.foreign_keys
+            for fk1 in fks:
+                for fk2 in fks:
+                    if fk1 is fk2:
+                        continue
+                    tables: list[str] = []
+                    for name in (
+                        fk1.child_table, fk1.parent_table,
+                        fk2.child_table, fk2.parent_table,
+                    ):
+                        if name.lower() not in tables:
+                            tables.append(name.lower())
+                    if len(tables) != 3:
+                        continue
+                    score = sum(self._table_score(t) for t in tables)
+                    options.append(
+                        (score, tuple(tables), (fk_join(fk1), fk_join(fk2)))
+                    )
+        else:
+            for fk in self.schema.foreign_keys:
+                child = fk.child_table.lower()
+                parent = fk.parent_table.lower()
+                score = self._table_score(child) + self._table_score(parent)
+                options.append((score, (child, parent), (fk_join(fk),)))
+        options.sort(key=lambda item: -item[0])
+        for score, tables, joins in options[:4]:
+            choices.append((score, replace(state, tables=tables, joins=joins)))
+        return self._log_normalize(choices)
+
+    # -- stage 2: select ---------------------------------------------------
+
+    def stage_select(self, state: _State):
+        """Stage 2: fill the SELECT slots dictated by the sketch."""
+        sketch = state.sketch
+        slots: list[str] = []
+        if sketch.count_star:
+            slots.append("count_star")
+        if sketch.has_arith:
+            slots.append("arith")
+        slots.extend(f"agg:{func}" for func in sketch.select_aggs)
+        remaining = sketch.n_select - len(slots)
+        slots.extend("col" for _ in range(max(remaining, 0)))
+        ranked_all = self._ranked_columns(state.tables)
+        ranked_num = self._ranked_columns(state.tables, NUMBER)
+        combos: list[tuple[float, tuple]] = [(0.0, ())]
+        for slot in slots:
+            expanded: list[tuple[float, tuple]] = []
+            for combo_score, items in combos:
+                if slot == "count_star":
+                    expanded.append(
+                        (combo_score, items + (AggExpr(func="count", arg=Star()),))
+                    )
+                    continue
+                if slot == "arith":
+                    picked = 0
+                    for score, ref in ranked_num:
+                        expr = Arith(
+                            op="-",
+                            left=AggExpr(func="max", arg=ref),
+                            right=AggExpr(func="min", arg=ref),
+                        )
+                        expanded.append((combo_score + score, items + (expr,)))
+                        picked += 1
+                        if picked >= 3:
+                            break
+                    if picked == 0:
+                        expanded.append((combo_score - 2.0, items))
+                    continue
+                pool = ranked_num if slot.startswith("agg:") else ranked_all
+                used = {
+                    ref.key()
+                    for expr in items
+                    if isinstance(expr, ColumnRef)
+                    for ref in (expr,)
+                }
+                picked = 0
+                for score, ref in pool:
+                    if slot == "col" and ref.key() in used:
+                        continue
+                    score = (
+                        score
+                        + self._region_bonus(ref, 0, self._proj_end)
+                        + self._key_penalty(ref)
+                    )
+                    if slot.startswith("agg:"):
+                        func = slot.split(":", 1)[1]
+                        expr = AggExpr(func=func, arg=ref)
+                    else:
+                        expr = ref
+                    expanded.append((combo_score + score, items + (expr,)))
+                    picked += 1
+                    if picked >= 3:
+                        break
+                if picked == 0:
+                    expanded.append((combo_score - 2.0, items))
+            combos = sorted(expanded, key=lambda item: -item[0])[:6]
+        choices = []
+        for score, items in combos:
+            if not items:
+                continue
+            choices.append((score, replace(state, select=items)))
+        return self._log_normalize(choices)
+
+    # -- stage 3: where (plain predicates + nested subqueries) -----------
+
+    def _predicate_candidates(
+        self, tables: tuple[str, ...], kinds: tuple[str, ...]
+    ) -> list[tuple[float, Predicate]]:
+        """Grounded predicate candidates over in-scope columns."""
+        candidates: list[tuple[float, Predicate]] = []
+        kind_pool = kinds if kinds else ("eq", "cmp")
+        for kind in set(kind_pool):
+            if kind in ("eq", "neq", "like"):
+                candidates.extend(self._text_predicates(tables, kind))
+            elif kind in ("cmp", "between"):
+                candidates.extend(self._number_predicates(tables, kind))
+        candidates.sort(key=lambda item: -item[0])
+        return candidates
+
+    def _text_predicates(self, tables, kind):
+        out = []
+        for score, ref in self._ranked_columns(tables, TEXT)[:5]:
+            values = self.db.column_values(ref.table, ref.column)
+            best_value, best_hit = None, 0.0
+            seen_values = set()
+            for value in values:
+                if not isinstance(value, str) or value in seen_values:
+                    continue
+                seen_values.add(value)
+                value_tokens = set(re.findall(r"[a-z0-9]+", value.lower()))
+                if not value_tokens:
+                    continue
+                hit = len(value_tokens & self.tokens) / len(value_tokens)
+                if hit > best_hit:
+                    best_hit, best_value = hit, value
+            if best_value is None:
+                continue
+            evidence = self.profile.value_skill * 2.5 * best_hit
+            evidence += self._value_proximity(ref, best_value)
+            if kind == "like":
+                token = best_value.split()[0]
+                predicate = Predicate(
+                    left=ref, op="like", right=Literal(f"%{token}%")
+                )
+            else:
+                op = "=" if kind == "eq" else "!="
+                predicate = Predicate(left=ref, op=op, right=Literal(best_value))
+            out.append((score + evidence + self._gumbel(0.5), predicate))
+        return out
+
+    def _column_positions(self, ref: ColumnRef) -> list[int]:
+        """Question positions where the column is mentioned.
+
+        Contiguous full-phrase matches are preferred; otherwise tokens of
+        the phrase that are *distinctive* (not part of the table's own
+        phrase) are used, so "battle id" and "battle year" don't collide on
+        the shared word "battle".
+        """
+        key = ref.key()
+        if key in self._phrase_cache:
+            return self._phrase_cache[key]
+        table = self.schema.table(ref.table) if ref.table else None
+        phrases = [ref.column.replace("_", " ")]
+        table_words: set[str] = set()
+        if table is not None:
+            table_words = set(question_tokens(table.nl)) | set(
+                question_tokens(table.name.replace("_", " "))
+            )
+            if table.has_column(ref.column):
+                column = table.column(ref.column)
+                phrases.append(column.nl)
+                phrases.extend(column.synonyms)
+        exact: list[int] = []
+        loose: list[int] = []
+        for phrase in phrases:
+            words = question_tokens(phrase)
+            if not words:
+                continue
+            # Contiguous full-phrase match.
+            for start in range(len(self.qtokens) - len(words) + 1):
+                if self.qtokens[start : start + len(words)] == words:
+                    exact.extend(range(start, start + len(words)))
+            distinctive = [w for w in words if w not in table_words] or words
+            loose.extend(
+                i for i, t in enumerate(self.qtokens) if t in set(distinctive)
+            )
+        positions = sorted(set(exact)) if exact else sorted(set(loose))
+        self._phrase_cache[key] = positions
+        return positions
+
+    def _proximity(self, ref: ColumnRef, mention: NumberMention) -> float:
+        """Affinity between a column mention and a number mention."""
+        positions = self._column_positions(ref)
+        if not positions:
+            return 0.0
+        distance = min(abs(p - mention.position) for p in positions)
+        return max(0.0, 4.5 - 0.9 * distance)
+
+    def _value_proximity(self, ref: ColumnRef, value: str) -> float:
+        """Affinity between a column mention and a literal value mention."""
+        value_words = re.findall(r"[a-z0-9]+", value.lower())
+        if not value_words:
+            return 0.0
+        value_positions = [
+            i for i, t in enumerate(self.qtokens) if t == value_words[0]
+        ]
+        positions = self._column_positions(ref)
+        if not value_positions or not positions:
+            return 0.0
+        distance = min(
+            abs(p - v) for p in positions for v in value_positions
+        )
+        return max(0.0, 4.0 - 0.8 * distance)
+
+    def _region_bonus(
+        self, ref: ColumnRef, start: int, end: int, weight: float = 3.0
+    ) -> float:
+        """Bipolar region evidence for a column mention.
+
+        Mentioned inside the region: +weight.  Mentioned in the question but
+        only *outside* the region (it plays some other role): -0.8*weight.
+        Not mentioned at all: neutral.
+        """
+        positions = self._column_positions(ref)
+        if not positions:
+            return 0.0
+        if any(start <= p < end for p in positions):
+            return weight
+        return -0.8 * weight
+
+    def _key_penalty(self, ref: ColumnRef) -> float:
+        """Id/key columns are rarely projected or sorted on."""
+        if ref.table is not None and self.schema.is_key_column(
+            ref.table, ref.column
+        ):
+            return -3.0
+        return 0.0
+
+    def _near_bonus(
+        self, ref: ColumnRef, anchor: int | None, weight: float = 2.5
+    ) -> float:
+        """Bonus when the column is mentioned just after an anchor token."""
+        if anchor is None:
+            return 0.0
+        positions = self._column_positions(ref)
+        if not positions:
+            return 0.0
+        if any(anchor < p <= anchor + 6 for p in positions):
+            return weight
+        return 0.0
+
+    def _number_predicates(self, tables, kind):
+        out = []
+        ranked = self._ranked_columns(tables, NUMBER)[:5]
+        if kind == "between":
+            bounds = [m for m in self.mentions if m.is_between_bound]
+            if len(bounds) < 2:
+                return out
+            low, high = sorted((bounds[0].value, bounds[1].value))
+            for score, ref in ranked:
+                affinity = self._proximity(ref, bounds[0])
+                predicate = Predicate(
+                    left=ref,
+                    op="between",
+                    right=Literal(low),
+                    right2=Literal(high),
+                )
+                out.append(
+                    (score + affinity + 1.0 + self._gumbel(0.5), predicate)
+                )
+            return out
+        for mention in self.cmp_mentions:
+            op = mention.op
+            if op == "=":
+                # Numeric equality is rare; treat as a weak comparison guess.
+                op = ">" if self.rng.random() < 0.5 else "<"
+            affinities = [
+                (self._proximity(ref, mention), score, ref)
+                for score, ref in ranked
+            ]
+            best_affinity = max((a for a, __, __ in affinities), default=0.0)
+            for affinity, score, ref in affinities:
+                # The column mentioned closest to the number is almost
+                # always the compared one; reward it ordinally.
+                nearest = 3.0 if affinity == best_affinity and affinity > 0 else 0.0
+                predicate = Predicate(
+                    left=ref, op=op, right=Literal(mention.value)
+                )
+                out.append(
+                    (
+                        score + affinity + nearest + 0.8 + self._gumbel(0.5),
+                        predicate,
+                    )
+                )
+        return out
+
+    def stage_where(self, state: _State):
+        """Stage 3: fill WHERE predicates or construct the nested subquery."""
+        sketch = state.sketch
+        if sketch.shape.startswith("nested:"):
+            return self._stage_nested(state)
+        if sketch.n_predicates == 0:
+            return []
+        kinds = sketch.predicate_kinds
+        pool = self._predicate_candidates(state.tables, kinds)
+        if not pool:
+            return [(-3.0, state)]
+        combos: list[tuple[float, tuple[Predicate, ...]]] = [(0.0, ())]
+        for __ in range(sketch.n_predicates):
+            expanded = []
+            for combo_score, preds in combos:
+                used = {(p.left, p.op) for p in preds}
+                picked = 0
+                for score, predicate in pool:
+                    if (predicate.left, predicate.op) in used:
+                        continue
+                    expanded.append((combo_score + score, preds + (predicate,)))
+                    picked += 1
+                    if picked >= 3:
+                        break
+                if picked == 0:
+                    expanded.append((combo_score, preds))
+            combos = sorted(expanded, key=lambda item: -item[0])[:5]
+        connector = "or" if sketch.has_or else "and"
+        choices = []
+        for score, preds in combos:
+            if not preds:
+                continue
+            connectors = tuple(connector for __ in range(len(preds) - 1))
+            choices.append(
+                (
+                    score,
+                    replace(
+                        state, where_predicates=preds, connectors=connectors
+                    ),
+                )
+            )
+        return self._log_normalize(choices)
+
+    def _stage_nested(self, state: _State):
+        sketch = state.sketch
+        table = state.tables[0] if state.tables else None
+        if table is None:
+            return []
+        if sketch.shape == "nested:scalar":
+            anchor = self._find_marker(("average", "mean", "total"))
+            choices = []
+            for score, ref in self._ranked_columns(state.tables, NUMBER)[:3]:
+                score = score + self._near_bonus(ref, anchor, weight=3.0)
+                inner = SelectQuery(
+                    select=(AggExpr(func="avg", arg=ref),),
+                    from_=FromClause(tables=(ref.table,)),
+                )
+                direction_up = any(
+                    w in self.question.lower() for w in ("above", "more", "greater", "over")
+                )
+                op = ">" if direction_up else "<"
+                predicate = Predicate(left=ref, op=op, right=inner)
+                choices.append(
+                    (score, replace(state, where_predicates=(predicate,)))
+                )
+            return self._log_normalize(choices)
+        # nested:in / nested:not_in over a foreign key.
+        negated = sketch.shape == "nested:not_in"
+        choices = []
+        for fk in self.schema.foreign_keys:
+            if fk.parent_table.lower() != table:
+                continue
+            child = fk.child_table.lower()
+            link_score = self._table_score(child)
+            inner_select = ColumnRef(
+                column=fk.child_column.lower(), table=child
+            )
+            inner_pool = self._predicate_candidates((child,), ("eq", "cmp"))
+            inner_options: list[tuple[float, Condition | None]] = [(0.0, None)]
+            for score, predicate in inner_pool[:2]:
+                inner_options.append(
+                    (score, Condition(predicates=(predicate,)))
+                )
+            for extra, inner_where in inner_options:
+                inner = SelectQuery(
+                    select=(inner_select,),
+                    from_=FromClause(tables=(child,)),
+                    where=inner_where,
+                )
+                predicate = Predicate(
+                    left=ColumnRef(
+                        column=fk.parent_column.lower(), table=table
+                    ),
+                    op="in",
+                    right=inner,
+                    negated=negated,
+                )
+                choices.append(
+                    (
+                        link_score + extra + self._gumbel(0.5),
+                        replace(state, where_predicates=(predicate,)),
+                    )
+                )
+        choices.sort(key=lambda item: -item[0])
+        return self._log_normalize(choices[:4])
+
+    # -- stage 4/5: group + having ----------------------------------------
+
+    def stage_group(self, state: _State):
+        """Stage 4: choose the GROUP BY column."""
+        if not state.sketch.has_group:
+            return []
+        choices = []
+        for score, ref in self._ranked_columns(state.tables, TEXT)[:3]:
+            score = score + self._near_bonus(ref, self._group_pos)
+            choices.append((score, replace(state, group_by=(ref,))))
+        if not choices:
+            for score, ref in self._ranked_columns(state.tables)[:2]:
+                choices.append((score, replace(state, group_by=(ref,))))
+        return self._log_normalize(choices)
+
+    def _count_threshold(self) -> tuple[int, str]:
+        """HAVING-count threshold and operator from the question."""
+        for mention in self.mentions:
+            if mention.is_count_threshold:
+                op = ">=" if mention.op == ">=" else ">"
+                return int(mention.value), op
+        if self.mentions:
+            mention = self.mentions[0]
+            return int(mention.value), ">=" if mention.op == ">=" else ">"
+        return 1, ">"
+
+    def stage_having(self, state: _State):
+        """Stage 5: build the HAVING count threshold."""
+        if not state.sketch.has_having:
+            return []
+        threshold, op = self._count_threshold()
+        having = Condition(
+            predicates=(
+                Predicate(
+                    left=AggExpr(func="count", arg=Star()),
+                    op=op,
+                    right=Literal(threshold),
+                ),
+            )
+        )
+        return [(0.0, replace(state, having=having))]
+
+    # -- stage 6: order + limit ------------------------------------------
+
+    def stage_order(self, state: _State):
+        """Stage 6: choose the ORDER BY key, direction and LIMIT."""
+        sketch = state.sketch
+        if sketch.order == "none":
+            return []
+        desc = sketch.order == "desc"
+        limit = None
+        if sketch.limit == "one":
+            limit = 1
+        elif sketch.limit == "k":
+            limits = [m for m in self.mentions if m.is_limit]
+            if limits:
+                limit = int(limits[0].value)
+            else:
+                ints = [
+                    int(m.value)
+                    for m in self.mentions
+                    if float(m.value).is_integer()
+                ]
+                limit = ints[0] if ints else 3
+        choices = []
+        if sketch.order_on_agg:
+            expr = AggExpr(func="count", arg=Star())
+            for existing in state.select:
+                if isinstance(existing, AggExpr):
+                    expr = existing
+                    break
+            choices.append(
+                (
+                    0.5,
+                    replace(
+                        state,
+                        order_by=(OrderItem(expr=expr, desc=desc),),
+                        limit=limit,
+                    ),
+                )
+            )
+            return choices
+        for score, ref in self._ranked_columns(state.tables, NUMBER)[:3]:
+            score = (
+                score
+                + self._near_bonus(ref, self._order_pos)
+                + self._key_penalty(ref)
+            )
+            choices.append(
+                (
+                    score,
+                    replace(
+                        state,
+                        order_by=(OrderItem(expr=ref, desc=desc),),
+                        limit=limit,
+                    ),
+                )
+            )
+        return self._log_normalize(choices)
+
+    # -- stage 7: set-operation right branch / FROM subquery ---------------
+
+    def stage_setop(self, state: _State):
+        """Stage 7: build the set-operation right branch or FROM subquery."""
+        sketch = state.sketch
+        if sketch.shape == "from_subquery":
+            return self._stage_from_subquery(state)
+        if not sketch.shape.startswith("setop:"):
+            return []
+        if not state.select or not state.tables:
+            return []
+        ref = None
+        for expr in state.select:
+            if isinstance(expr, ColumnRef):
+                ref = expr
+                break
+        if ref is None:
+            return []
+        pool = self._predicate_candidates(state.tables, ("eq", "neq", "cmp"))
+        choices = []
+        for score, predicate in pool[:3]:
+            right = SelectQuery(
+                select=(ref,),
+                from_=FromClause(tables=state.tables, joins=state.joins),
+                where=Condition(predicates=(predicate,)),
+            )
+            choices.append((score, replace(state, setop_right=right)))
+        return self._log_normalize(choices)
+
+    def _stage_from_subquery(self, state: _State):
+        choices = []
+        threshold, __ = self._count_threshold()
+        for score, ref in self._ranked_columns(state.tables, TEXT)[:3]:
+            inner = SelectQuery(
+                select=(ref,),
+                from_=FromClause(tables=(ref.table,)),
+                group_by=(ref,),
+                having=Condition(
+                    predicates=(
+                        Predicate(
+                            left=AggExpr(func="count", arg=Star()),
+                            op=">",
+                            right=Literal(threshold),
+                        ),
+                    )
+                ),
+            )
+            choices.append((score, replace(state, from_inner=inner)))
+        return self._log_normalize(choices)
+
+    # -- finalisation -------------------------------------------------------
+
+    def finalize(self, state: _State) -> Query | None:
+        """Assemble the completed decode state into a Query (or None)."""
+        sketch = state.sketch
+        if not state.select:
+            return None
+        if sketch.shape == "from_subquery":
+            if state.from_inner is None:
+                return None
+            query: Query = SelectQuery(
+                select=(AggExpr(func="count", arg=Star()),),
+                from_=FromClause(subquery=state.from_inner),
+            )
+            return self._strip_values(query)
+        if not state.tables:
+            return None
+        where = None
+        if state.where_predicates:
+            where = Condition(
+                predicates=state.where_predicates, connectors=state.connectors
+            )
+        select = state.select
+        if sketch.distinct and not any(
+            isinstance(e, AggExpr) for e in select
+        ):
+            distinct = True
+        else:
+            distinct = sketch.distinct
+        main = SelectQuery(
+            select=select,
+            from_=FromClause(tables=state.tables, joins=state.joins),
+            distinct=distinct,
+            where=where,
+            group_by=state.group_by,
+            having=state.having,
+            order_by=state.order_by,
+            limit=state.limit,
+        )
+        if sketch.shape.startswith("setop:"):
+            if state.setop_right is None:
+                return None
+            op = sketch.shape.split(":", 1)[1]
+            left = replace(main, where=None) if op == "except" and where is None else main
+            query = SetQuery(op=op, left=left, right=state.setop_right)
+        else:
+            query = main
+        return self._strip_values(query)
+
+    def _strip_values(self, query: Query) -> Query:
+        """Replace literal values with placeholders for non-value models."""
+        if self.profile.predicts_values:
+            return query
+        return _replace_literals(query)
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+
+
+def _replace_literals(query: Query) -> Query:
+    """Rewrite every predicate literal to the 'value' placeholder."""
+    if isinstance(query, SetQuery):
+        return SetQuery(
+            op=query.op,
+            left=_replace_literals(query.left),
+            right=_replace_literals(query.right),
+        )
+
+    def fix_condition(condition: Condition | None) -> Condition | None:
+        if condition is None:
+            return None
+        fixed = []
+        for predicate in condition.predicates:
+            right = predicate.right
+            if isinstance(right, Literal):
+                right = Literal("value")
+            elif isinstance(right, (SelectQuery, SetQuery)):
+                right = _replace_literals(right)
+            elif isinstance(right, tuple):
+                right = tuple(Literal("value") for __ in right)
+            right2 = predicate.right2
+            if isinstance(right2, Literal):
+                right2 = Literal("value")
+            fixed.append(replace(predicate, right=right, right2=right2))
+        return Condition(
+            predicates=tuple(fixed), connectors=condition.connectors
+        )
+
+    from_ = query.from_
+    if from_.subquery is not None:
+        from_ = FromClause(subquery=_replace_literals(from_.subquery))
+    return replace(
+        query,
+        from_=from_,
+        where=fix_condition(query.where),
+        having=fix_condition(query.having),
+    )

@@ -1,0 +1,42 @@
+"""Trainable text encoders (the 'towers' of the ranking models).
+
+An :class:`EncoderTower` maps text to a dense embedding: a fitted TF-IDF
+featurizer followed by a trainable two-layer projection.  Two towers with
+shared or separate weights make up the dual-tower first-stage ranker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear, Module
+from repro.nn.text import TextFeaturizer
+
+
+class EncoderTower(Module):
+    """TF-IDF features -> tanh projection -> embedding."""
+
+    def __init__(
+        self,
+        featurizer: TextFeaturizer,
+        embed_dim: int,
+        rng: np.random.Generator,
+        hidden_dim: int | None = None,
+    ) -> None:
+        self.featurizer = featurizer
+        hidden = hidden_dim if hidden_dim is not None else embed_dim * 2
+        self.hidden = Linear(featurizer.buckets, hidden, rng)
+        self.output = Linear(hidden, embed_dim, rng)
+
+    def encode_features(self, features: np.ndarray) -> Tensor:
+        """Embed a precomputed feature vector (or batch)."""
+        x = Tensor(features)
+        return self.output(self.hidden(x).tanh())
+
+    def encode(self, text: str) -> Tensor:
+        """Embed raw text."""
+        return self.encode_features(self.featurizer.transform(text))
+
+    def encode_many(self, texts: list[str]) -> Tensor:
+        return self.encode_features(self.featurizer.transform_many(texts))

@@ -1,0 +1,61 @@
+"""Dense layers built on the autograd Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Module:
+    """Base class providing parameter collection."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Xavier-uniform initialisation."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator
+    ) -> None:
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        weight = rng.uniform(-bound, bound, size=(in_features, out_features))
+        self.weight = Tensor(weight, requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class MLP(Module):
+    """Multi-layer perceptron with tanh hidden activations."""
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator) -> None:
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layers = [
+            Linear(sizes[i], sizes[i + 1], rng) for i in range(len(sizes) - 1)
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = layer(x).tanh()
+        return self.layers[-1](x)

@@ -1,0 +1,90 @@
+"""Loss functions used by MetaSQL's classifiers and rankers.
+
+Includes the three losses of the second-stage ranking model (Section III-C2):
+the global/local MSE losses, the phrase triplet loss, and the listwise
+NeuralNDCG loss implemented via NeuralSort's differentiable permutation
+relaxation (Pobrotyn & Bialobrzeski, 2021).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def mse_loss(predicted: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = predicted - target
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, target: Tensor) -> Tensor:
+    """Binary cross-entropy on logits (numerically stable).
+
+    Uses ``max(x,0) - x*t + log(1 + exp(-|x|))``.
+    """
+    relu_part = logits.clip_min(0.0)
+    abs_part = logits.abs()
+    log_part = (1.0 + (-abs_part).exp()).log()
+    return (relu_part - logits * target + log_part).mean()
+
+
+def triplet_loss(
+    anchor: Tensor, positive: Tensor, negative: Tensor, margin: float = 0.3
+) -> Tensor:
+    """Cosine triplet loss ``max(0, margin - cos(a,p) + cos(a,n))``.
+
+    Inputs are 1-D embeddings.  The paper's phrase triplet loss pushes
+    mismatched phrases away from the NL query embedding relative to matched
+    phrases.
+    """
+    pos_sim = _cosine(anchor, positive)
+    neg_sim = _cosine(anchor, negative)
+    return (neg_sim - pos_sim + margin).clip_min(0.0)
+
+
+def _cosine(a: Tensor, b: Tensor) -> Tensor:
+    return (a @ b) / (a.norm() * b.norm())
+
+
+def neural_sort(scores: Tensor, tau: float = 1.0) -> Tensor:
+    """NeuralSort relaxation: a row-stochastic 'permutation' matrix.
+
+    ``P[k]`` softly selects the k-th largest element of *scores*.
+    Reference: Grover et al., 2019 (as used by NeuralNDCG).
+    """
+    s = scores.reshape(-1, 1)
+    n = s.shape[0]
+    ones = Tensor(np.ones((n, 1)))
+    abs_diff = (s - s.T).abs()  # |s_i - s_j|
+    b = abs_diff @ ones  # row sums
+    scaling = Tensor(np.arange(n, 0, -1, dtype=np.float64) * 2.0 - (n + 1))
+    # c[k, i] = (n + 1 - 2k) * s_i  with k ranked from 1..n
+    c = scaling.reshape(-1, 1) @ s.reshape(1, -1)
+    p = c - b.reshape(1, -1)
+    return (p * (1.0 / tau)).softmax(axis=-1)
+
+
+def neural_ndcg_loss(
+    predicted: Tensor, relevance: np.ndarray, tau: float = 1.0
+) -> Tensor:
+    """1 - NeuralNDCG of *predicted* scores against graded *relevance*.
+
+    The permutation relaxation sorts the (exponential) gains by predicted
+    score; the result is discounted and normalised by the ideal DCG.  Returns
+    a differentiable scalar in [0, 1+]; minimising it maximises NDCG.
+    """
+    relevance = np.asarray(relevance, dtype=np.float64)
+    n = relevance.shape[0]
+    if n == 0:
+        raise ValueError("relevance list must be non-empty")
+    gains = np.power(2.0, relevance) - 1.0
+    discounts = 1.0 / np.log2(np.arange(n) + 2.0)
+    ideal = np.sort(gains)[::-1] @ discounts
+    if ideal <= 0:
+        ideal = 1.0
+    permutation = neural_sort(predicted, tau=tau)
+    sorted_gains = permutation @ Tensor(gains)
+    ndcg = (sorted_gains * Tensor(discounts)).sum() * (1.0 / ideal)
+    return 1.0 - ndcg

@@ -1,0 +1,72 @@
+"""Optimizers: plain SGD and Adam (Kingma & Ba, 2015)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class SGD:
+    """Stochastic gradient descent with optional weight decay."""
+
+    def __init__(
+        self, params: list[Tensor], lr: float = 0.01, weight_decay: float = 0.0
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            param.data -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+
+class Adam:
+    """Adam optimizer; the paper uses it for both ranking models."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * (
+                grad**2
+            )
+            m_hat = self._m[index] / (1 - self.beta1**self._t)
+            v_hat = self._v[index] / (1 - self.beta2**self._t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None

@@ -1,0 +1,106 @@
+"""Text featurisation: tokenizer, hashing vectorizer, TF-IDF featurizer.
+
+Replaces pre-trained sentence encoders: text is mapped to a fixed-size sparse
+bag-of-features vector (word unigrams + bigrams + character trigrams hashed
+into a fixed number of buckets, TF-IDF weighted), which the trainable
+:mod:`repro.nn.encoder` towers project into a dense embedding space.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+import numpy as np
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize_text(text: str) -> list[str]:
+    """Lowercase word tokens (alphanumeric runs)."""
+    return _WORD_RE.findall(text.lower())
+
+
+def _hash_token(token: str, buckets: int) -> int:
+    """Stable string hash (FNV-1a) into ``buckets``."""
+    value = 0xCBF29CE484222325
+    for char in token.encode("utf-8"):
+        value ^= char
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value % buckets
+
+
+def text_features(text: str, include_chars: bool = True) -> list[str]:
+    """Feature strings for *text*: unigrams, bigrams and char trigrams."""
+    words = tokenize_text(text)
+    features = list(words)
+    features.extend(f"{a}_{b}" for a, b in zip(words, words[1:]))
+    if include_chars:
+        for word in words:
+            padded = f"#{word}#"
+            features.extend(
+                "c:" + padded[i : i + 3] for i in range(len(padded) - 2)
+            )
+    return features
+
+
+class HashingVectorizer:
+    """Stateless hashed bag-of-features vectorizer."""
+
+    def __init__(self, buckets: int = 2048, include_chars: bool = True) -> None:
+        self.buckets = buckets
+        self.include_chars = include_chars
+
+    def transform(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.buckets)
+        for feature in text_features(text, self.include_chars):
+            vector[_hash_token(feature, self.buckets)] += 1.0
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+
+class TextFeaturizer:
+    """TF-IDF weighted hashing vectorizer fitted on a corpus.
+
+    ``fit`` learns inverse document frequencies per hash bucket;
+    ``transform`` produces L2-normalised TF-IDF vectors.
+    """
+
+    def __init__(self, buckets: int = 2048, include_chars: bool = True) -> None:
+        self.buckets = buckets
+        self.include_chars = include_chars
+        self._idf: np.ndarray | None = None
+
+    def fit(self, corpus: list[str]) -> "TextFeaturizer":
+        document_freq = np.zeros(self.buckets)
+        for text in corpus:
+            seen = {
+                _hash_token(f, self.buckets)
+                for f in text_features(text, self.include_chars)
+            }
+            for bucket in seen:
+                document_freq[bucket] += 1.0
+        n_docs = max(len(corpus), 1)
+        self._idf = np.log((1.0 + n_docs) / (1.0 + document_freq)) + 1.0
+        return self
+
+    def transform(self, text: str) -> np.ndarray:
+        counts: Counter[int] = Counter(
+            _hash_token(f, self.buckets)
+            for f in text_features(text, self.include_chars)
+        )
+        vector = np.zeros(self.buckets)
+        for bucket, count in counts.items():
+            vector[bucket] = 1.0 + math.log(count)
+        if self._idf is not None:
+            vector *= self._idf
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def transform_many(self, texts: list[str]) -> np.ndarray:
+        return np.stack([self.transform(t) for t in texts])

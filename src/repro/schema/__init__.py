@@ -1,0 +1,7 @@
+"""Relational substrate: schema model, in-memory database, SQL executor."""
+
+from repro.schema.database import Database
+from repro.schema.executor import execute
+from repro.schema.schema import Column, ForeignKey, Schema, Table
+
+__all__ = ["Column", "ForeignKey", "Schema", "Table", "Database", "execute"]

@@ -1,0 +1,82 @@
+"""In-memory relational database.
+
+Rows are stored as plain dicts keyed by lowercase column name.  The database
+validates inserted rows against the schema and provides the value lookups
+used by MetaSQL's value-grounding step (finding which column holds a literal
+mentioned in an NL question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.schema import Schema
+from repro.sqlkit.errors import SchemaError
+
+
+@dataclass
+class Database:
+    """A schema plus its table contents."""
+
+    schema: Schema
+    rows: dict[str, list[dict[str, object]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for table in self.schema.tables:
+            self.rows.setdefault(table.name.lower(), [])
+
+    def insert(self, table: str, row: dict[str, object]) -> None:
+        """Insert one row, validating column names and coercing case."""
+        table_obj = self.schema.table(table)
+        clean: dict[str, object] = {}
+        for key, value in row.items():
+            if not table_obj.has_column(key):
+                raise SchemaError(
+                    f"no column {key!r} in table {table_obj.name!r}"
+                )
+            clean[key.lower()] = value
+        for column in table_obj.columns:
+            clean.setdefault(column.name.lower(), None)
+        self.rows[table_obj.name.lower()].append(clean)
+
+    def insert_many(self, table: str, rows: list[dict[str, object]]) -> None:
+        for row in rows:
+            self.insert(table, row)
+
+    def table_rows(self, table: str) -> list[dict[str, object]]:
+        lowered = table.lower()
+        if lowered not in self.rows:
+            raise SchemaError(f"no table {table!r} in database")
+        return self.rows[lowered]
+
+    def column_values(self, table: str, column: str) -> list[object]:
+        """All non-null values stored in a column."""
+        column_l = column.lower()
+        return [
+            row[column_l]
+            for row in self.table_rows(table)
+            if row.get(column_l) is not None
+        ]
+
+    def find_value(self, value: object) -> list[tuple[str, str]]:
+        """Return (table, column) pairs whose contents contain *value*.
+
+        String comparison is case-insensitive — this powers the picklist
+        search used by value grounding.
+        """
+        matches: list[tuple[str, str]] = []
+        needle = value.lower() if isinstance(value, str) else value
+        for table in self.schema.tables:
+            for column in table.columns:
+                for stored in self.column_values(table.name, column.name):
+                    comparable = (
+                        stored.lower() if isinstance(stored, str) else stored
+                    )
+                    if comparable == needle:
+                        matches.append((table.name.lower(), column.name.lower()))
+                        break
+        return matches
+
+    def size(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(len(rows) for rows in self.rows.values())

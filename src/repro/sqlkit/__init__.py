@@ -1,0 +1,63 @@
+"""SQL substrate: tokenizer, parser, printer, comparison, hardness, units.
+
+This package implements, from scratch, every SQL-processing facility MetaSQL
+depends on: parsing SQL text into a Spider-compatible AST, printing canonical
+SQL, Spider exact-set-match comparison, the SQL hardness criteria (levels and
+MetaSQL's numeric rating), decomposition of a query into semantic units, and
+the rule-based SQL-unit-to-NL templates used by the second-stage ranker.
+"""
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    FromClause,
+    JoinCond,
+    Literal,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+    ValueExpr,
+)
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.errors import SqlError, SqlParseError, SqlTokenError
+from repro.sqlkit.hardness import Hardness, hardness_level, hardness_rating
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.printer import to_sql
+from repro.sqlkit.sql2nl import describe_query, describe_unit
+from repro.sqlkit.units import SqlUnit, UnitType, decompose
+
+__all__ = [
+    "AggExpr",
+    "Arith",
+    "ColumnRef",
+    "Condition",
+    "FromClause",
+    "JoinCond",
+    "Literal",
+    "OrderItem",
+    "Predicate",
+    "Query",
+    "SelectQuery",
+    "SetQuery",
+    "Star",
+    "ValueExpr",
+    "SqlError",
+    "SqlParseError",
+    "SqlTokenError",
+    "Hardness",
+    "hardness_level",
+    "hardness_rating",
+    "parse_sql",
+    "to_sql",
+    "exact_match",
+    "SqlUnit",
+    "UnitType",
+    "decompose",
+    "describe_query",
+    "describe_unit",
+]

@@ -1,0 +1,145 @@
+"""Spider-style exact-set-match (EM) comparison.
+
+Two queries match when each clause matches as a *set* of canonical
+components, ignoring literal values (Spider's ``exact matching`` protocol:
+"specific values are disregarded").  ORDER BY is compared as an ordered list
+because key order is semantically significant there; UNION/INTERSECT operands
+are compared in either order (they are commutative), EXCEPT in order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    Literal,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+    ValueExpr,
+)
+from repro.sqlkit.normalize import normalize
+
+
+def exact_match(predicted: Query, gold: Query) -> bool:
+    """Return True when *predicted* exactly matches *gold* under Spider EM."""
+    return _match(normalize(predicted), normalize(gold))
+
+
+def _match(predicted: Query, gold: Query) -> bool:
+    if isinstance(gold, SetQuery) or isinstance(predicted, SetQuery):
+        if not (isinstance(gold, SetQuery) and isinstance(predicted, SetQuery)):
+            return False
+        if predicted.op != gold.op:
+            return False
+        in_order = _match(predicted.left, gold.left) and _match(
+            predicted.right, gold.right
+        )
+        if in_order:
+            return True
+        if predicted.op in ("union", "intersect"):
+            return _match(predicted.left, gold.right) and _match(
+                predicted.right, gold.left
+            )
+        return False
+    return _match_select(predicted, gold)
+
+
+def _match_select(predicted: SelectQuery, gold: SelectQuery) -> bool:
+    if predicted.distinct != gold.distinct:
+        return False
+    if Counter(_expr_key(e) for e in predicted.select) != Counter(
+        _expr_key(e) for e in gold.select
+    ):
+        return False
+    if not _match_from(predicted, gold):
+        return False
+    if not _match_condition(predicted.where, gold.where):
+        return False
+    if Counter(c.key() for c in predicted.group_by) != Counter(
+        c.key() for c in gold.group_by
+    ):
+        return False
+    if not _match_condition(predicted.having, gold.having):
+        return False
+    pred_order = [( _expr_key(i.expr), i.desc) for i in predicted.order_by]
+    gold_order = [(_expr_key(i.expr), i.desc) for i in gold.order_by]
+    if pred_order != gold_order:
+        return False
+    if (predicted.limit is None) != (gold.limit is None):
+        return False
+    if predicted.limit is not None and predicted.limit != gold.limit:
+        return False
+    return True
+
+
+def _match_from(predicted: SelectQuery, gold: SelectQuery) -> bool:
+    pred_sub = predicted.from_.subquery
+    gold_sub = gold.from_.subquery
+    if (pred_sub is None) != (gold_sub is None):
+        return False
+    if pred_sub is not None and gold_sub is not None:
+        return _match(pred_sub, gold_sub)
+    return Counter(predicted.from_.tables) == Counter(gold.from_.tables)
+
+
+def _match_condition(predicted: Condition | None, gold: Condition | None) -> bool:
+    if (predicted is None) != (gold is None):
+        return False
+    if predicted is None or gold is None:
+        return True
+    if Counter(predicted.connectors) != Counter(gold.connectors):
+        return False
+    gold_keys = [_predicate_key(p) for p in gold.predicates]
+    pred_keys = [_predicate_key(p) for p in predicted.predicates]
+    if Counter(pred_keys) != Counter(gold_keys):
+        return False
+    # Subquery right-hand sides must match structurally, matched greedily.
+    gold_subs = [p.right for p in gold.predicates if p.has_subquery]
+    pred_subs = [p.right for p in predicted.predicates if p.has_subquery]
+    if len(gold_subs) != len(pred_subs):
+        return False
+    remaining = list(gold_subs)
+    for sub in pred_subs:
+        for candidate in remaining:
+            if _match(sub, candidate):  # type: ignore[arg-type]
+                remaining.remove(candidate)
+                break
+        else:
+            return False
+    return True
+
+
+def _expr_key(expr: ValueExpr) -> str:
+    """Canonical string identity of an expression, ignoring literal values."""
+    if isinstance(expr, Literal):
+        return "value"
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, ColumnRef):
+        return expr.key()
+    if isinstance(expr, AggExpr):
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.func}({distinct}{_expr_key(expr.arg)})"
+    if isinstance(expr, Arith):
+        return f"({_expr_key(expr.left)} {expr.op} {_expr_key(expr.right)})"
+    raise TypeError(f"cannot key expression of type {type(expr).__name__}")
+
+
+def _predicate_key(predicate: Predicate) -> str:
+    """Canonical identity of a predicate with literal values erased."""
+    left = _expr_key(predicate.left)
+    negation = "not " if predicate.negated else ""
+    if isinstance(predicate.right, (SelectQuery, SetQuery)):
+        rhs = "<subquery>"
+    elif isinstance(predicate.right, tuple):
+        rhs = "value"
+    else:
+        rhs = _expr_key(predicate.right)
+    return f"{left} {negation}{predicate.op} {rhs}"

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the SQL substrate."""
+
+
+class SqlError(Exception):
+    """Base class for all SQL-substrate errors."""
+
+
+class SqlTokenError(SqlError):
+    """Raised when the tokenizer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class SqlParseError(SqlError):
+    """Raised when the parser cannot derive a valid query from the tokens."""
+
+
+class SqlExecutionError(SqlError):
+    """Raised when the executor cannot evaluate a query against a database."""
+
+
+class SchemaError(SqlError):
+    """Raised when a query references tables/columns absent from the schema."""

@@ -1,0 +1,207 @@
+"""SQL hardness: Spider difficulty levels and MetaSQL's numeric rating.
+
+Two related notions, both defined over the AST:
+
+- :func:`hardness_level` reimplements the Spider benchmark's four-way
+  component-counting criteria (Easy / Medium / Hard / Extra Hard).
+- :func:`hardness_rating` computes MetaSQL's integer *hardness value*
+  metadata.  The paper's worked examples are not mutually consistent, so the
+  per-component scores below are fitted to match as many of the published
+  examples as possible (see DESIGN.md §4): a WHERE-only query rates 200, a
+  PROJECT+EXCEPT query rates 400, a WHERE+subquery query rates 450.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    Condition,
+    Query,
+    SelectQuery,
+    SetQuery,
+)
+
+
+class Hardness(str, enum.Enum):
+    """Spider's four difficulty levels."""
+
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    EXTRA = "extra"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Rating contribution per SQL component (see module docstring).
+RATING_BASE = 100
+RATING_SCORES = {
+    "join": 50,
+    "where": 100,
+    "extra_predicate": 50,
+    "group": 100,
+    "having": 50,
+    "order": 50,
+    "limit": 25,
+    "subquery": 250,
+    "setop": 300,
+    "agg": 25,
+}
+
+
+def hardness_rating(query: Query) -> int:
+    """MetaSQL hardness value: base 100 plus per-component scores.
+
+    The final value is rounded to the nearest 25 (scores are multiples of 25
+    already, so this is a no-op guard against future drift).
+    """
+    rating = RATING_BASE + _rating_components(query)
+    return int(round(rating / 25.0) * 25)
+
+
+def _rating_components(query: Query) -> int:
+    if isinstance(query, SetQuery):
+        return (
+            RATING_SCORES["setop"]
+            + _rating_components(query.left)
+            + _rating_components(query.right)
+        )
+    score = 0
+    if len(query.from_.tables) > 1:
+        score += RATING_SCORES["join"] * (len(query.from_.tables) - 1)
+    if query.from_.subquery is not None:
+        score += RATING_SCORES["subquery"]
+        score += _rating_components(query.from_.subquery)
+    if query.where is not None:
+        score += RATING_SCORES["where"]
+        score += RATING_SCORES["extra_predicate"] * (len(query.where.predicates) - 1)
+        score += _condition_subquery_score(query.where)
+    if query.group_by:
+        score += RATING_SCORES["group"]
+    if query.having is not None:
+        score += RATING_SCORES["having"]
+        score += _condition_subquery_score(query.having)
+    if query.order_by:
+        score += RATING_SCORES["order"]
+    if query.limit is not None:
+        score += RATING_SCORES["limit"]
+    aggs = _count_aggs(query)
+    if aggs > 1:
+        score += RATING_SCORES["agg"] * (aggs - 1)
+    return score
+
+
+def _condition_subquery_score(condition: Condition) -> int:
+    score = 0
+    for predicate in condition.predicates:
+        if predicate.has_subquery:
+            score += RATING_SCORES["subquery"]
+            score += _rating_components(predicate.right)  # type: ignore[arg-type]
+    return score
+
+
+def hardness_level(query: Query) -> Hardness:
+    """Spider's Easy/Medium/Hard/Extra-Hard classification."""
+    comp1 = _count_component1(query)
+    comp2 = _count_component2(query)
+    others = _count_others(query)
+
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return Hardness.EASY
+    if (others <= 2 and comp1 <= 1 and comp2 == 0) or (
+        comp1 <= 2 and others < 2 and comp2 == 0
+    ):
+        return Hardness.MEDIUM
+    if (
+        (others > 2 and comp1 <= 2 and comp2 == 0)
+        or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+        or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    ):
+        return Hardness.HARD
+    return Hardness.EXTRA
+
+
+def _main_selects(query: Query):
+    """Top-level selects (set-operation branches), not predicate subqueries."""
+    if isinstance(query, SetQuery):
+        yield from _main_selects(query.left)
+        yield from _main_selects(query.right)
+    else:
+        yield query
+
+
+def _count_component1(query: Query) -> int:
+    """WHERE, GROUP BY, ORDER BY, LIMIT, JOIN, OR, LIKE occurrences."""
+    count = 0
+    for select in _main_selects(query):
+        if select.where is not None:
+            count += 1
+            count += sum(1 for c in select.where.connectors if c == "or")
+            count += sum(1 for p in select.where.predicates if p.op == "like")
+        if select.group_by:
+            count += 1
+        if select.order_by:
+            count += 1
+        if select.limit is not None:
+            count += 1
+        if len(select.from_.tables) > 1:
+            count += 1
+    return count
+
+
+def _count_component2(query: Query) -> int:
+    """EXCEPT, UNION, INTERSECT and nested subqueries."""
+    count = 0
+    if isinstance(query, SetQuery):
+        count += 1
+        count += _count_component2(query.left)
+        count += _count_component2(query.right)
+        return count
+    if query.from_.subquery is not None:
+        count += 1 + _count_component2(query.from_.subquery)
+    for condition in (query.where, query.having):
+        if condition is None:
+            continue
+        for predicate in condition.predicates:
+            if predicate.has_subquery:
+                count += 1 + _count_component2(predicate.right)  # type: ignore[arg-type]
+    return count
+
+
+def _count_others(query: Query) -> int:
+    """Number of 'other' complexity factors exceeding the simple baseline."""
+    count = 0
+    for select in _main_selects(query):
+        if _count_aggs(select) > 1:
+            count += 1
+        if len(select.select) > 1:
+            count += 1
+        if select.where is not None and len(select.where.predicates) > 1:
+            count += 1
+        if len(select.group_by) > 1:
+            count += 1
+    return count
+
+
+def _count_aggs(select: SelectQuery) -> int:
+    count = 0
+    for expr in select.select:
+        count += _aggs_in_expr(expr)
+    for item in select.order_by:
+        count += _aggs_in_expr(item.expr)
+    if select.having is not None:
+        for predicate in select.having.predicates:
+            count += _aggs_in_expr(predicate.left)
+    return count
+
+
+def _aggs_in_expr(expr) -> int:
+    if isinstance(expr, AggExpr):
+        return 1
+    if isinstance(expr, Arith):
+        return _aggs_in_expr(expr.left) + _aggs_in_expr(expr.right)
+    return 0

@@ -1,0 +1,116 @@
+"""Query canonicalisation helpers.
+
+``normalize`` rewrites a query into a canonical structural form so that
+structural equality (``==`` on the frozen AST) and the exact-match comparison
+in :mod:`repro.sqlkit.compare` behave predictably:
+
+- identifiers are lowercased,
+- ``x = y`` with ``negated=True`` becomes ``x != y``,
+- string literals are lowercased (Spider's EM ignores values entirely, but
+  execution comparison is case-insensitive for values in our benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    FromClause,
+    JoinCond,
+    Literal,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+    ValueExpr,
+)
+
+
+def normalize(query: Query) -> Query:
+    """Return the canonical form of *query*."""
+    if isinstance(query, SetQuery):
+        return SetQuery(
+            op=query.op, left=normalize(query.left), right=normalize(query.right)
+        )
+    return _normalize_select(query)
+
+
+def _normalize_select(query: SelectQuery) -> SelectQuery:
+    from_ = query.from_
+    if from_.subquery is not None:
+        from_ = FromClause(subquery=normalize(from_.subquery))
+    else:
+        from_ = FromClause(
+            tables=tuple(t.lower() for t in from_.tables),
+            joins=tuple(
+                JoinCond(left=_norm_col(j.left), right=_norm_col(j.right))
+                for j in from_.joins
+            ),
+        )
+    return SelectQuery(
+        select=tuple(_norm_expr(e) for e in query.select),
+        from_=from_,
+        distinct=query.distinct,
+        where=_norm_condition(query.where),
+        group_by=tuple(_norm_col(c) for c in query.group_by),
+        having=_norm_condition(query.having),
+        order_by=tuple(
+            OrderItem(expr=_norm_expr(i.expr), desc=i.desc) for i in query.order_by
+        ),
+        limit=query.limit,
+    )
+
+
+def _norm_col(ref: ColumnRef) -> ColumnRef:
+    table = ref.table.lower() if ref.table is not None else None
+    return ColumnRef(column=ref.column.lower(), table=table)
+
+
+def _norm_expr(expr: ValueExpr) -> ValueExpr:
+    if isinstance(expr, ColumnRef):
+        return _norm_col(expr)
+    if isinstance(expr, Star):
+        if expr.table is not None:
+            return Star(table=expr.table.lower())
+        return expr
+    if isinstance(expr, AggExpr):
+        return replace(expr, arg=_norm_expr(expr.arg))
+    if isinstance(expr, Arith):
+        return Arith(op=expr.op, left=_norm_expr(expr.left), right=_norm_expr(expr.right))
+    if isinstance(expr, Literal) and isinstance(expr.value, str):
+        return Literal(value=expr.value.lower())
+    return expr
+
+
+def _norm_condition(condition: Condition | None) -> Condition | None:
+    if condition is None:
+        return None
+    predicates = []
+    for predicate in condition.predicates:
+        right = predicate.right
+        if isinstance(right, (SelectQuery, SetQuery)):
+            right = normalize(right)
+        elif isinstance(right, tuple):
+            right = tuple(_norm_expr(lit) for lit in right)
+        else:
+            right = _norm_expr(right)
+        right2 = _norm_expr(predicate.right2) if predicate.right2 is not None else None
+        op, negated = predicate.op, predicate.negated
+        if op == "=" and negated:
+            op, negated = "!=", False
+        predicates.append(
+            Predicate(
+                left=_norm_expr(predicate.left),
+                op=op,
+                right=right,
+                right2=right2,
+                negated=negated,
+            )
+        )
+    return Condition(predicates=tuple(predicates), connectors=condition.connectors)

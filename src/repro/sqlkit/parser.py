@@ -1,0 +1,441 @@
+"""Recursive-descent SQL parser for the Spider-compatible subset.
+
+The parser accepts Spider-style SQL, including ``AS T1`` table aliases and
+``JOIN`` clauses with or without ``ON`` conditions.  Aliases are resolved to
+real table names during parsing, so the produced AST is alias-free and two
+queries that differ only in alias naming compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sqlkit import tokens as tk
+from repro.sqlkit.ast import (
+    AGG_FUNCS,
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    FromClause,
+    JoinCond,
+    Literal,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+    ValueExpr,
+)
+from repro.sqlkit.errors import SqlParseError
+
+
+def parse_sql(sql: str) -> Query:
+    """Parse *sql* into a :class:`Query` AST.
+
+    Raises:
+        SqlParseError: when the text is not a valid query in the subset.
+        SqlTokenError: on lexical errors.
+    """
+    parser = _Parser(tk.tokenize(sql))
+    query = parser.parse_query()
+    if not parser.at_end():
+        token = parser.peek()
+        raise SqlParseError(f"trailing input at token {token.value!r}")
+    return query
+
+
+class _Parser:
+    """Stateful token-stream parser."""
+
+    def __init__(self, tokens: list[tk.Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers.
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def peek(self, offset: int = 0) -> tk.Token | None:
+        index = self._pos + offset
+        if index >= len(self._tokens):
+            return None
+        return self._tokens[index]
+
+    def advance(self) -> tk.Token:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def accept_kw(self, *names: str) -> tk.Token | None:
+        token = self.peek()
+        if token is not None and token.is_kw(*names):
+            return self.advance()
+        return None
+
+    def expect_kw(self, name: str) -> tk.Token:
+        token = self.accept_kw(name)
+        if token is None:
+            found = self.peek()
+            got = found.value if found is not None else "end of input"
+            raise SqlParseError(f"expected {name.upper()}, got {got!r}")
+        return token
+
+    def accept_punct(self, value: str) -> tk.Token | None:
+        token = self.peek()
+        if token is not None and token.kind == tk.PUNCT and token.value == value:
+            return self.advance()
+        return None
+
+    def expect_punct(self, value: str) -> tk.Token:
+        token = self.accept_punct(value)
+        if token is None:
+            found = self.peek()
+            got = found.value if found is not None else "end of input"
+            raise SqlParseError(f"expected {value!r}, got {got!r}")
+        return token
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token is None or token.kind != tk.IDENT:
+            got = token.value if token is not None else "end of input"
+            raise SqlParseError(f"expected identifier, got {got!r}")
+        self.advance()
+        return token.value
+
+    # ------------------------------------------------------------------
+    # Grammar productions.
+
+    def parse_query(self) -> Query:
+        query: Query = self.parse_select()
+        while True:
+            setop = self.accept_kw("union", "intersect", "except")
+            if setop is None:
+                return query
+            right = self.parse_select()
+            query = SetQuery(op=setop.value, left=query, right=right)
+
+    def parse_select(self) -> SelectQuery:
+        self.expect_kw("select")
+        distinct = self.accept_kw("distinct") is not None
+        select_items = [self.parse_value_expr()]
+        while self.accept_punct(","):
+            select_items.append(self.parse_value_expr())
+
+        self.expect_kw("from")
+        from_clause, aliases = self.parse_from()
+
+        where = None
+        if self.accept_kw("where"):
+            where = self.parse_condition()
+
+        group_by: tuple[ColumnRef, ...] = ()
+        having = None
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            group_cols = [self._as_column(self.parse_value_expr())]
+            while self.accept_punct(","):
+                group_cols.append(self._as_column(self.parse_value_expr()))
+            group_by = tuple(group_cols)
+            if self.accept_kw("having"):
+                having = self.parse_condition()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept_kw("order"):
+            self.expect_kw("by")
+            items = [self.parse_order_item()]
+            while self.accept_punct(","):
+                items.append(self.parse_order_item())
+            order_by = tuple(items)
+
+        limit = None
+        if self.accept_kw("limit"):
+            token = self.advance()
+            if token.kind != tk.NUMBER:
+                raise SqlParseError(f"expected LIMIT count, got {token.value!r}")
+            limit = int(float(token.value))
+
+        query = SelectQuery(
+            select=tuple(select_items),
+            from_=from_clause,
+            distinct=distinct,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+        return _resolve_aliases(query, aliases)
+
+    def parse_from(self) -> tuple[FromClause, dict[str, str]]:
+        """Parse the FROM clause, returning it plus the alias->table map."""
+        if self.accept_punct("("):
+            subquery = self.parse_query()
+            self.expect_punct(")")
+            aliases: dict[str, str] = {}
+            if self.accept_kw("as"):
+                self.expect_ident()  # subquery alias is dropped
+            return FromClause(subquery=subquery), aliases
+
+        tables: list[str] = []
+        joins: list[JoinCond] = []
+        aliases = {}
+
+        def table_ref() -> None:
+            name = self.expect_ident()
+            tables.append(name)
+            if self.accept_kw("as"):
+                aliases[self.expect_ident().lower()] = name
+            else:
+                nxt = self.peek()
+                if nxt is not None and nxt.kind == tk.IDENT:
+                    aliases[self.expect_ident().lower()] = name
+
+        table_ref()
+        while self.accept_kw("join") or self.accept_punct(","):
+            table_ref()
+            if self.accept_kw("on"):
+                left = self._as_column(self.parse_term())
+                op = self.advance()
+                if op.kind != tk.OP or op.value != "=":
+                    raise SqlParseError("join conditions must be equi-joins")
+                right = self._as_column(self.parse_term())
+                joins.append(JoinCond(left=left, right=right))
+                # Spider sometimes chains AND-ed join conditions.
+                while self.accept_kw("and"):
+                    left = self._as_column(self.parse_term())
+                    op = self.advance()
+                    if op.kind != tk.OP or op.value != "=":
+                        raise SqlParseError("join conditions must be equi-joins")
+                    right = self._as_column(self.parse_term())
+                    joins.append(JoinCond(left=left, right=right))
+        return FromClause(tables=tuple(tables), joins=tuple(joins)), aliases
+
+    def parse_condition(self) -> Condition:
+        predicates = [self.parse_predicate()]
+        connectors: list[str] = []
+        while True:
+            connector = self.accept_kw("and", "or")
+            if connector is None:
+                break
+            connectors.append(connector.value)
+            predicates.append(self.parse_predicate())
+        return Condition(predicates=tuple(predicates), connectors=tuple(connectors))
+
+    def parse_predicate(self) -> Predicate:
+        negated = self.accept_kw("not") is not None
+        left = self.parse_value_expr()
+        if self.accept_kw("not"):
+            negated = True
+        op_token = self.peek()
+        if op_token is None:
+            raise SqlParseError("expected comparison operator")
+        if op_token.kind == tk.OP:
+            self.advance()
+            op = op_token.value
+            right = self._parse_comparison_rhs()
+            return Predicate(left=left, op=op, right=right, negated=negated)
+        if op_token.is_kw("like"):
+            self.advance()
+            right = self.parse_term()
+            return Predicate(left=left, op="like", right=right, negated=negated)
+        if op_token.is_kw("in"):
+            self.advance()
+            self.expect_punct("(")
+            nxt = self.peek()
+            if nxt is not None and nxt.is_kw("select"):
+                sub = self.parse_query()
+                self.expect_punct(")")
+                return Predicate(left=left, op="in", right=sub, negated=negated)
+            literals = [self._parse_literal()]
+            while self.accept_punct(","):
+                literals.append(self._parse_literal())
+            self.expect_punct(")")
+            return Predicate(
+                left=left, op="in", right=tuple(literals), negated=negated
+            )
+        if op_token.is_kw("between"):
+            self.advance()
+            low = self.parse_term()
+            self.expect_kw("and")
+            high = self.parse_term()
+            return Predicate(
+                left=left, op="between", right=low, right2=high, negated=negated
+            )
+        raise SqlParseError(f"expected comparison operator, got {op_token.value!r}")
+
+    def _parse_comparison_rhs(self):
+        if self.accept_punct("("):
+            nxt = self.peek()
+            if nxt is not None and nxt.is_kw("select"):
+                sub = self.parse_query()
+                self.expect_punct(")")
+                return sub
+            expr = self.parse_value_expr()
+            self.expect_punct(")")
+            return expr
+        return self.parse_value_expr()
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_value_expr()
+        desc = False
+        if self.accept_kw("desc"):
+            desc = True
+        else:
+            self.accept_kw("asc")
+        return OrderItem(expr=expr, desc=desc)
+
+    def parse_value_expr(self) -> ValueExpr:
+        expr = self.parse_term()
+        while True:
+            token = self.peek()
+            if token is None:
+                return expr
+            if token.kind == tk.OP and token.value in ("+", "-", "/"):
+                self.advance()
+                right = self.parse_term()
+                expr = Arith(op=token.value, left=expr, right=right)
+            elif (
+                token.kind == tk.PUNCT
+                and token.value == "*"
+                and isinstance(expr, (ColumnRef, AggExpr, Arith, Literal))
+                and self._looks_like_arith_star()
+            ):
+                self.advance()
+                right = self.parse_term()
+                expr = Arith(op="*", left=expr, right=right)
+            else:
+                return expr
+
+    def _looks_like_arith_star(self) -> bool:
+        """Disambiguate ``a * b`` (arith) from ``count(*)`` / ``SELECT *``."""
+        nxt = self.peek(1)
+        return nxt is not None and nxt.kind in (tk.IDENT, tk.NUMBER, tk.STRING)
+
+    def parse_term(self) -> ValueExpr:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end of input in expression")
+        if token.kind == tk.PUNCT and token.value == "*":
+            self.advance()
+            return Star()
+        if token.kind == tk.KW and token.value in AGG_FUNCS:
+            self.advance()
+            self.expect_punct("(")
+            distinct = self.accept_kw("distinct") is not None
+            if self.accept_punct("*"):
+                arg: ValueExpr = Star()
+            else:
+                arg = self.parse_value_expr()
+            self.expect_punct(")")
+            return AggExpr(func=token.value, arg=arg, distinct=distinct)
+        if token.kind == tk.IDENT:
+            self.advance()
+            if self.accept_punct("."):
+                if self.accept_punct("*"):
+                    return Star(table=token.value)
+                column = self.expect_ident()
+                return ColumnRef(column=column, table=token.value)
+            return ColumnRef(column=token.value)
+        if token.kind in (tk.NUMBER, tk.STRING):
+            return self._parse_literal()
+        if token.kind == tk.OP and token.value == "-":
+            self.advance()
+            literal = self._parse_literal()
+            if not isinstance(literal.value, (int, float)):
+                raise SqlParseError("negation applies to numbers only")
+            return Literal(value=-literal.value)
+        if token.kind == tk.PUNCT and token.value == "(":
+            self.advance()
+            expr = self.parse_value_expr()
+            self.expect_punct(")")
+            return expr
+        raise SqlParseError(f"unexpected token {token.value!r} in expression")
+
+    def _parse_literal(self) -> Literal:
+        token = self.advance()
+        if token.kind == tk.STRING:
+            return Literal(value=token.value)
+        if token.kind == tk.NUMBER:
+            if "." in token.value:
+                return Literal(value=float(token.value))
+            return Literal(value=int(token.value))
+        raise SqlParseError(f"expected literal, got {token.value!r}")
+
+    @staticmethod
+    def _as_column(expr: ValueExpr) -> ColumnRef:
+        if not isinstance(expr, ColumnRef):
+            raise SqlParseError(f"expected column reference, got {expr!r}")
+        return expr
+
+
+# ----------------------------------------------------------------------
+# Alias resolution.
+
+
+def _resolve_aliases(query: SelectQuery, aliases: dict[str, str]) -> SelectQuery:
+    """Rewrite alias table qualifiers to real table names."""
+    if not aliases:
+        return query
+
+    def fix_col(ref: ColumnRef) -> ColumnRef:
+        if ref.table is not None and ref.table.lower() in aliases:
+            return replace(ref, table=aliases[ref.table.lower()])
+        return ref
+
+    def fix_expr(expr: ValueExpr) -> ValueExpr:
+        if isinstance(expr, ColumnRef):
+            return fix_col(expr)
+        if isinstance(expr, Star):
+            if expr.table is not None and expr.table.lower() in aliases:
+                return replace(expr, table=aliases[expr.table.lower()])
+            return expr
+        if isinstance(expr, AggExpr):
+            return replace(expr, arg=fix_expr(expr.arg))
+        if isinstance(expr, Arith):
+            return replace(expr, left=fix_expr(expr.left), right=fix_expr(expr.right))
+        return expr
+
+    def fix_condition(condition: Condition | None) -> Condition | None:
+        if condition is None:
+            return None
+        fixed = []
+        for predicate in condition.predicates:
+            right = predicate.right
+            if isinstance(right, (Literal, ColumnRef, Star, AggExpr, Arith)):
+                right = fix_expr(right)
+            right2 = predicate.right2
+            if right2 is not None:
+                right2 = fix_expr(right2)
+            fixed.append(
+                replace(
+                    predicate, left=fix_expr(predicate.left), right=right, right2=right2
+                )
+            )
+        return replace(condition, predicates=tuple(fixed))
+
+    from_ = query.from_
+    if from_.tables:
+        from_ = replace(
+            from_,
+            joins=tuple(
+                JoinCond(left=fix_col(j.left), right=fix_col(j.right))
+                for j in from_.joins
+            ),
+        )
+    return replace(
+        query,
+        select=tuple(fix_expr(e) for e in query.select),
+        from_=from_,
+        where=fix_condition(query.where),
+        group_by=tuple(fix_col(c) for c in query.group_by),
+        having=fix_condition(query.having),
+        order_by=tuple(
+            replace(item, expr=fix_expr(item.expr)) for item in query.order_by
+        ),
+    )

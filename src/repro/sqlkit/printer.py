@@ -1,0 +1,154 @@
+"""Canonical SQL rendering of the AST.
+
+``to_sql`` produces a normal form: uppercase keywords, lowercase-preserving
+identifiers, no table aliases, explicit join conditions when present.  The
+printer and parser round-trip: ``parse_sql(to_sql(q)) == q`` for any AST the
+generator or parser can produce.
+"""
+
+from __future__ import annotations
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Condition,
+    FromClause,
+    Literal,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+    ValueExpr,
+)
+
+_SET_OP_KW = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}
+
+
+def to_sql(query: Query) -> str:
+    """Render *query* as canonical SQL text."""
+    if isinstance(query, SetQuery):
+        left = to_sql(query.left)
+        right = to_sql(query.right)
+        return f"{left} {_SET_OP_KW[query.op]} {right}"
+    return _render_select(query)
+
+
+def render_expr(expr: ValueExpr) -> str:
+    """Render a value expression."""
+    if isinstance(expr, Literal):
+        return expr.render()
+    if isinstance(expr, Star):
+        if expr.table is not None:
+            return f"{expr.table}.*"
+        return "*"
+    if isinstance(expr, ColumnRef):
+        if expr.table is not None:
+            return f"{expr.table}.{expr.column}"
+        return expr.column
+    if isinstance(expr, AggExpr):
+        inner = render_expr(expr.arg)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.func}({inner})"
+    if isinstance(expr, Arith):
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    raise TypeError(f"cannot render expression of type {type(expr).__name__}")
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """Render a single predicate."""
+    left = render_expr(predicate.left)
+    op = predicate.op
+    negation = "NOT " if predicate.negated else ""
+    if op == "between":
+        low = render_expr(predicate.right)  # type: ignore[arg-type]
+        high = render_expr(predicate.right2)  # type: ignore[arg-type]
+        return f"{left} {negation}BETWEEN {low} AND {high}"
+    if isinstance(predicate.right, (SelectQuery, SetQuery)):
+        rhs = f"({to_sql(predicate.right)})"
+    elif isinstance(predicate.right, tuple):
+        rhs = "(" + ", ".join(lit.render() for lit in predicate.right) + ")"
+    else:
+        rhs = render_expr(predicate.right)
+    if op == "in":
+        return f"{left} {negation}IN {rhs}"
+    if op == "like":
+        return f"{left} {negation}LIKE {rhs}"
+    if predicate.negated and op == "=":
+        return f"{left} != {rhs}"
+    if predicate.negated:
+        return f"NOT {left} {op} {rhs}"
+    return f"{left} {op} {rhs}"
+
+
+def render_condition(condition: Condition) -> str:
+    """Render a flat boolean condition."""
+    parts = [render_predicate(condition.predicates[0])]
+    for connector, predicate in zip(
+        condition.connectors, condition.predicates[1:]
+    ):
+        parts.append(connector.upper())
+        parts.append(render_predicate(predicate))
+    return " ".join(parts)
+
+
+def _render_from(from_: FromClause) -> str:
+    if from_.subquery is not None:
+        return f"({to_sql(from_.subquery)})"
+    pieces = [from_.tables[0]]
+    used_joins = list(from_.joins)
+    seen = {from_.tables[0].lower()}
+    for table in from_.tables[1:]:
+        pieces.append(f"JOIN {table}")
+        seen.add(table.lower())
+        # Attach join conditions whose tables are all in scope and not used.
+        attached = []
+        for join in used_joins:
+            sides = {
+                (join.left.table or "").lower(),
+                (join.right.table or "").lower(),
+            }
+            if table.lower() in sides and sides <= seen:
+                attached.append(join)
+        if attached:
+            conds = " AND ".join(
+                f"{render_expr(j.left)} = {render_expr(j.right)}" for j in attached
+            )
+            pieces.append(f"ON {conds}")
+            for join in attached:
+                used_joins.remove(join)
+    return " ".join(pieces)
+
+
+def _render_select(query: SelectQuery) -> str:
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(render_expr(e) for e in query.select))
+    parts.append("FROM")
+    parts.append(_render_from(query.from_))
+    if query.where is not None:
+        parts.append("WHERE")
+        parts.append(render_condition(query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(render_expr(c) for c in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(render_condition(query.having))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_render_order_item(i) for i in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def _render_order_item(item: OrderItem) -> str:
+    rendered = render_expr(item.expr)
+    if item.desc:
+        return f"{rendered} DESC"
+    return rendered

@@ -1,0 +1,172 @@
+"""Rule-based SQL-to-NL phrase generation (Table 2 of the paper).
+
+Each SQL unit type is linked to a template populated with element labels
+taken from the unit; the result is a short NL description.  A
+:class:`Vocabulary` supplies human-readable names for tables/columns; the
+default :class:`IdentifierVocabulary` prettifies raw identifiers
+(``pet_age`` -> ``pet age``).  Benchmark schemas provide richer vocabularies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    Arith,
+    ColumnRef,
+    Literal,
+    Predicate,
+    Query,
+    SelectQuery,
+    SetQuery,
+    Star,
+    ValueExpr,
+)
+from repro.sqlkit.units import SqlUnit, UnitType, decompose
+
+
+class Vocabulary(Protocol):
+    """Provides NL names for schema elements."""
+
+    def table_phrase(self, table: str) -> str:
+        """NL phrase for a table."""
+
+    def column_phrase(self, column: str, table: str | None = None) -> str:
+        """NL phrase for a column."""
+
+
+class IdentifierVocabulary:
+    """Fallback vocabulary: prettify raw identifiers."""
+
+    def table_phrase(self, table: str) -> str:
+        return _prettify(table)
+
+    def column_phrase(self, column: str, table: str | None = None) -> str:
+        return _prettify(column)
+
+
+def _prettify(identifier: str) -> str:
+    return identifier.replace("_", " ").strip().lower()
+
+
+_DEFAULT_VOCAB = IdentifierVocabulary()
+
+_AGG_PHRASES = {
+    "count": "the number of",
+    "sum": "the total",
+    "avg": "the average",
+    "min": "the minimum",
+    "max": "the maximum",
+}
+
+_OP_PHRASES = {
+    "=": "is",
+    "!=": "is not",
+    "<": "is less than",
+    ">": "is greater than",
+    "<=": "is at most",
+    ">=": "is at least",
+    "like": "contains",
+    "in": "is one of",
+    "between": "is between",
+}
+
+_SET_OP_PHRASES = {
+    "union": "or also",
+    "intersect": "that also",
+    "except": "but not",
+}
+
+
+def describe_expr(expr: ValueExpr, vocab: Vocabulary = _DEFAULT_VOCAB) -> str:
+    """NL phrase for a value expression."""
+    if isinstance(expr, Literal):
+        return str(expr.value)
+    if isinstance(expr, Star):
+        return "all records"
+    if isinstance(expr, ColumnRef):
+        return vocab.column_phrase(expr.column, expr.table)
+    if isinstance(expr, AggExpr):
+        if isinstance(expr.arg, Star):
+            return "the number of records"
+        inner = describe_expr(expr.arg, vocab)
+        distinct = "different " if expr.distinct else ""
+        return f"{_AGG_PHRASES[expr.func]} {distinct}{inner}"
+    if isinstance(expr, Arith):
+        op_word = {"+": "plus", "-": "minus", "*": "times", "/": "divided by"}
+        left = describe_expr(expr.left, vocab)
+        right = describe_expr(expr.right, vocab)
+        return f"{left} {op_word[expr.op]} {right}"
+    raise TypeError(f"cannot describe expression of type {type(expr).__name__}")
+
+
+def describe_predicate(
+    predicate: Predicate, vocab: Vocabulary = _DEFAULT_VOCAB
+) -> str:
+    """NL phrase for one predicate."""
+    left = describe_expr(predicate.left, vocab)
+    negation = "not " if predicate.negated else ""
+    if isinstance(predicate.right, (SelectQuery, SetQuery)):
+        inner = describe_query(predicate.right, vocab)
+        if predicate.op == "in":
+            return f"whose {left} is {negation}among those where {inner}"
+        return f"whose {left} {negation}{_OP_PHRASES[predicate.op]} ({inner})"
+    if isinstance(predicate.right, tuple):
+        values = ", ".join(str(lit.value) for lit in predicate.right)
+        return f"whose {left} is {negation}one of {values}"
+    if predicate.op == "between":
+        low = describe_expr(predicate.right, vocab)
+        high = describe_expr(predicate.right2, vocab)  # type: ignore[arg-type]
+        return f"whose {left} is {negation}between {low} and {high}"
+    right = describe_expr(predicate.right, vocab)
+    return f"whose {left} {negation}{_OP_PHRASES[predicate.op]} {right}"
+
+
+def describe_unit(unit: SqlUnit, vocab: Vocabulary = _DEFAULT_VOCAB) -> str:
+    """NL description of one SQL unit (Table 2 templates)."""
+    if unit.unit_type is UnitType.PROJECTION:
+        return f"find {describe_expr(unit.payload, vocab)}"
+    if unit.unit_type is UnitType.JOIN:
+        tables = unit.payload
+        phrases = [vocab.table_phrase(t) for t in tables]
+        if len(phrases) == 1:
+            return f"the {phrases[0]}"
+        head, *rest = phrases
+        return f"the {head} with " + " and ".join(rest)
+    if unit.unit_type is UnitType.PREDICATE:
+        payload, set_op = unit.payload
+        if set_op is not None:
+            inner = describe_query(payload, vocab)
+            return f"{_SET_OP_PHRASES[set_op]} those where {inner}"
+        return describe_predicate(payload, vocab)
+    if unit.unit_type is UnitType.GROUP:
+        columns = ", ".join(vocab.column_phrase(c.column, c.table) for c in unit.payload)
+        return f"for each {columns}"
+    if unit.unit_type is UnitType.SORT:
+        order_items, limit = unit.payload
+        parts = []
+        for item in order_items:
+            direction = "highest" if item.desc else "lowest"
+            parts.append(f"the {direction} {describe_expr(item.expr, vocab)}")
+        phrase = " and ".join(parts) if parts else "the records"
+        if limit is not None:
+            if limit == 1:
+                return f"{phrase} one"
+            return f"{phrase} top {limit}"
+        ordered = "sorted by " + ", ".join(
+            describe_expr(i.expr, vocab) for i in order_items
+        )
+        return ordered
+    raise ValueError(f"unknown unit type: {unit.unit_type}")
+
+
+def describe_query(query: Query, vocab: Vocabulary = _DEFAULT_VOCAB) -> str:
+    """Sentence-level NL description: the unit phrases stitched together."""
+    units = decompose(query)
+    return "; ".join(describe_unit(u, vocab) for u in units)
+
+
+def unit_phrases(query: Query, vocab: Vocabulary = _DEFAULT_VOCAB) -> list[str]:
+    """Phrase-level NL descriptions, one per unit, in decomposition order."""
+    return [describe_unit(u, vocab) for u in decompose(query)]

@@ -1,0 +1,96 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects for the Spider-compatible SQL
+subset used throughout the project.  Keywords are case-insensitive and get
+canonicalised to lowercase; identifiers keep their original spelling but are
+matched case-insensitively downstream.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.sqlkit.errors import SqlTokenError
+
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "join", "on", "as", "where", "group",
+        "by", "having", "order", "limit", "asc", "desc", "and", "or", "not",
+        "in", "like", "between", "union", "intersect", "except", "count",
+        "sum", "avg", "min", "max", "is", "null", "exists",
+    }
+)
+
+# Token kinds.
+KW = "kw"           # keyword
+IDENT = "ident"     # identifier (possibly qualified later via '.')
+NUMBER = "number"   # numeric literal
+STRING = "string"   # quoted string literal
+OP = "op"           # comparison/arithmetic operator
+PUNCT = "punct"     # parentheses, commas, dot, star
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>|\+|-|/)
+  | (?P<punct>[(),.;*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token: its kind, canonical value and source offset."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_kw(self, *names: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.kind == KW and self.value in names
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql* into a list of tokens.
+
+    Raises:
+        SqlTokenError: on any character sequence outside the lexical grammar.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlTokenError(f"unexpected character {sql[pos]!r}", pos)
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KW, lowered, match.start()))
+            else:
+                tokens.append(Token(IDENT, text, match.start()))
+        elif match.lastgroup == "string":
+            inner = text[1:-1]
+            quote = text[0]
+            inner = inner.replace(quote * 2, quote)
+            tokens.append(Token(STRING, inner, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token(NUMBER, text, match.start()))
+        elif match.lastgroup == "op":
+            value = "!=" if text == "<>" else text
+            tokens.append(Token(OP, value, match.start()))
+        else:
+            if text == ";":
+                break
+            tokens.append(Token(PUNCT, text, match.start()))
+    return tokens

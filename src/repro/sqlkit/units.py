@@ -1,0 +1,76 @@
+"""Decomposition of a SQL query into semantic units.
+
+MetaSQL's second-stage ranker consumes *multi-grained* features: one
+sentence-level representation of the whole query plus one phrase-level
+representation per semantic unit.  The unit types follow Table 2 of the
+paper: PROJECTION, JOIN, PREDICATE, GROUP and SORT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sqlkit.ast import (
+    Query,
+    SetQuery,
+)
+
+
+class UnitType(str, enum.Enum):
+    """The five unit types of Table 2."""
+
+    PROJECTION = "projection"
+    JOIN = "join"
+    PREDICATE = "predicate"
+    GROUP = "group"
+    SORT = "sort"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SqlUnit:
+    """One semantic unit: its type and the AST payload it covers.
+
+    ``payload`` is type-dependent: a select expression for PROJECTION, the
+    table tuple for JOIN, a (predicate, set_op or None) pair for PREDICATE,
+    the group-by column tuple for GROUP, and the (order_items, limit) pair
+    for SORT.
+    """
+
+    unit_type: UnitType
+    payload: object
+
+
+def decompose(query: Query) -> tuple[SqlUnit, ...]:
+    """Break *query* into its semantic units (Table 2 of the paper).
+
+    Set operations are decomposed into the left branch's units plus a
+    PREDICATE unit for the right branch (mirroring the paper's
+    ``INTERSECT SELECT ...`` predicate example).  Nested subqueries inside
+    predicates stay part of that predicate's unit.
+    """
+    if isinstance(query, SetQuery):
+        units = list(decompose(query.left))
+        units.append(SqlUnit(UnitType.PREDICATE, (query.right, query.op)))
+        return tuple(units)
+
+    units = []
+    for expr in query.select:
+        units.append(SqlUnit(UnitType.PROJECTION, expr))
+    if query.from_.subquery is not None:
+        units.extend(decompose(query.from_.subquery))
+    else:
+        units.append(SqlUnit(UnitType.JOIN, query.from_.tables))
+    for condition in (query.where, query.having):
+        if condition is None:
+            continue
+        for predicate in condition.predicates:
+            units.append(SqlUnit(UnitType.PREDICATE, (predicate, None)))
+    if query.group_by:
+        units.append(SqlUnit(UnitType.GROUP, query.group_by))
+    if query.order_by or query.limit is not None:
+        units.append(SqlUnit(UnitType.SORT, (query.order_by, query.limit)))
+    return tuple(units)

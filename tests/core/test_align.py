@@ -1,0 +1,92 @@
+"""Alignment feature tests — the swapped-aggregate case in particular."""
+
+import numpy as np
+
+from repro.core.align import (
+    PHRASE_FEATURE_DIM,
+    SENTENCE_FEATURE_DIM,
+    canonicalize,
+    content_words,
+    phrase_features,
+    sentence_features,
+)
+
+
+class TestCanonicalization:
+    def test_synonyms_map_to_classes(self):
+        assert canonicalize(["lowest", "smallest", "minimum"]) == [
+            "MIN", "MIN", "MIN",
+        ]
+
+    def test_unknown_tokens_pass_through(self):
+        assert canonicalize(["killed"]) == ["killed"]
+
+    def test_content_words_drop_fillers(self):
+        words = content_words("find the number of records for students")
+        assert "find" not in words
+        assert "students" in words
+
+
+class TestPhraseFeatures:
+    def test_dimension(self):
+        assert phrase_features("a question", "a phrase").shape == (
+            PHRASE_FEATURE_DIM,
+        )
+
+    def test_matching_phrase_scores_high_overlap(self):
+        question = "Tell me the lowest killed for casualty records."
+        features = phrase_features(question, "the minimum killed")
+        assert features[0] == 1.0  # full canonical overlap
+
+    def test_swapped_aggregate_detected_by_adjacency(self):
+        """min(killed) vs min(injured) under 'lowest killed ... highest injured'."""
+        question = "Tell me the lowest killed and the highest injured."
+        right = phrase_features(question, "the minimum killed")
+        wrong = phrase_features(question, "the minimum injured")
+        assert right[1] > wrong[1]  # adjacency separates them
+
+    def test_number_mismatch_detected(self):
+        question = "records with killed above 300"
+        good = phrase_features(question, "whose killed is greater than 300")
+        bad = phrase_features(question, "whose killed is greater than 999")
+        assert good[3] > bad[3]
+
+    def test_class_mismatch_detected(self):
+        question = "records with killed above 300"
+        good = phrase_features(question, "whose killed is greater than 300")
+        bad = phrase_features(question, "whose killed is less than 300")
+        assert good[4] > bad[4]
+
+
+class TestSentenceFeatures:
+    def test_dimension(self):
+        features = sentence_features("q", "surface", ("p1", "p2"))
+        assert features.shape == (SENTENCE_FEATURE_DIM,)
+
+    def test_missing_clause_lowers_question_coverage(self):
+        question = "last names of students whose major is Biology"
+        full = sentence_features(
+            question,
+            "SELECT lname FROM student WHERE major = 'Biology'",
+            ("find last name", "the student", "whose major is Biology"),
+        )
+        partial = sentence_features(
+            question,
+            "SELECT lname FROM student",
+            ("find last name", "the student"),
+        )
+        assert full[0] > partial[0]
+
+    def test_hallucinated_clause_lowers_candidate_coverage(self):
+        question = "last names of students"
+        clean = sentence_features(
+            question,
+            "SELECT lname FROM student",
+            ("find last name", "the student"),
+        )
+        noisy = sentence_features(
+            question,
+            "SELECT lname FROM student WHERE age > 20",
+            ("find last name", "the student", "whose age is greater than 20"),
+        )
+        assert clean[1] > noisy[1]

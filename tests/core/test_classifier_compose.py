@@ -1,0 +1,106 @@
+"""Multi-label classifier and composition-sampler tests."""
+
+import pytest
+
+from repro.core.classifier import ClassifierConfig, MetadataClassifier
+from repro.core.compose import ComposerConfig, MetadataComposer
+from repro.core.metadata import extract_metadata
+
+
+@pytest.fixture(scope="module")
+def classifier(tiny_benchmark):
+    return MetadataClassifier(ClassifierConfig(epochs=25)).fit(
+        tiny_benchmark.train
+    )
+
+
+@pytest.fixture(scope="module")
+def composer(tiny_benchmark):
+    return MetadataComposer().fit(tiny_benchmark.train)
+
+
+class TestClassifier:
+    def test_label_vocabulary(self, classifier):
+        labels = classifier.labels
+        assert "where" in labels
+        assert any(isinstance(l, tuple) and l[0] == "rating" for l in labels)
+
+    def test_loss_decreases(self, classifier):
+        losses = classifier.training_losses()
+        assert losses[-1] < losses[0]
+
+    def test_predict_returns_tags_and_ratings(
+        self, classifier, tiny_benchmark
+    ):
+        db = tiny_benchmark.dev.database("pets")
+        tags, ratings = classifier.predict(
+            "How many students have a cat?", db
+        )
+        assert isinstance(tags, set)
+        assert ratings  # never starves
+
+    def test_lower_threshold_adds_labels(self, classifier, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        question = "List the last names of students"
+        strict_tags, __ = classifier.predict(question, db, threshold=0.0)
+        loose_tags, __ = classifier.predict(question, db, threshold=-40.0)
+        assert strict_tags <= loose_tags
+        assert len(loose_tags) > len(strict_tags)
+
+    def test_label_coverage_on_dev(self, classifier, tiny_benchmark):
+        """Most dev questions' gold tags are covered at threshold 0."""
+        dev = tiny_benchmark.dev
+        covered = 0
+        total = 0
+        for example in dev.examples[:80]:
+            db = dev.database(example.db_id)
+            gold = extract_metadata(example.sql)
+            tags, __ = classifier.predict(example.question, db)
+            covered += gold.tags <= (tags | {"project"})
+            total += 1
+        assert covered / total > 0.5
+
+    def test_unfitted_raises(self, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        with pytest.raises(RuntimeError):
+            MetadataClassifier().logits("anything", db)
+
+
+class TestComposer:
+    def test_observed_combinations_counted(self, composer):
+        assert len(composer.observed_combinations) > 10
+
+    def test_compose_subsets_of_predicted(self, composer):
+        compositions = composer.compose(
+            {"project", "where", "group"}, [200, 300]
+        )
+        assert compositions
+        for metadata in compositions:
+            assert metadata.tags <= {"project", "where", "group"}
+
+    def test_compose_respects_rating_window(self, composer):
+        config = ComposerConfig(rating_window=50)
+        strict = MetadataComposer(config)
+        strict._combos = composer._combos
+        strict._tagsets = composer._tagsets
+        for metadata in strict.compose({"project", "where"}, [200]):
+            assert abs(metadata.rating - 200) <= 50
+
+    def test_compose_caps_count(self, composer):
+        compositions = composer.compose(
+            set(composer.observed_combinations[0][0])
+            | {"where", "group", "order", "join"},
+            [100, 200, 300, 400],
+        )
+        assert len(compositions) <= composer.config.max_compositions
+
+    def test_all_compositions_for_ablation(self, composer):
+        everything = composer.all_compositions(limit=10)
+        assert len(everything) == 10
+
+    def test_compositions_unique(self, composer):
+        compositions = composer.compose(
+            {"project", "where", "order", "limit", "agg"}, [200]
+        )
+        keys = [(m.tags, m.rating) for m in compositions]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,100 @@
+"""Candidate-generation tests (conditioned decoding + value grounding)."""
+
+import pytest
+
+from repro.core.generation import CandidateGenerator, GeneratorConfig
+from repro.core.metadata import QueryMetadata, extract_metadata
+from repro.sqlkit.printer import to_sql
+
+
+@pytest.fixture(scope="module")
+def meta_model(tiny_benchmark):
+    from repro.models.registry import create_model
+
+    model = create_model("lgesql")
+    model.fit(tiny_benchmark.train, with_metadata=True)
+    return model
+
+
+@pytest.fixture()
+def example(tiny_benchmark):
+    return tiny_benchmark.dev.examples[0]
+
+
+class TestGenerate:
+    def test_one_beam_per_condition(self, meta_model, tiny_benchmark, example):
+        generator = CandidateGenerator(
+            meta_model,
+            GeneratorConfig(
+                beam_per_condition=1, include_unconditioned=False
+            ),
+        )
+        db = tiny_benchmark.dev.database(example.db_id)
+        gold_meta = extract_metadata(example.sql)
+        simple = QueryMetadata(tags=frozenset({"project"}), rating=100)
+        candidates = generator.generate(
+            example.question, db, [gold_meta, simple]
+        )
+        conditions = {c.metadata for c in candidates}
+        assert gold_meta in conditions or simple in conditions
+
+    def test_max_candidates_cap(self, meta_model, tiny_benchmark, example):
+        generator = CandidateGenerator(
+            meta_model, GeneratorConfig(max_candidates=3)
+        )
+        db = tiny_benchmark.dev.database(example.db_id)
+        compositions = [
+            QueryMetadata(tags=frozenset({"project"}), rating=100),
+            QueryMetadata(tags=frozenset({"project", "where"}), rating=200),
+            QueryMetadata(tags=frozenset({"project", "order", "limit"}), rating=175),
+        ]
+        candidates = generator.generate(example.question, db, compositions)
+        assert len(candidates) <= 3
+
+    def test_unconditioned_fallback(self, meta_model, tiny_benchmark, example):
+        generator = CandidateGenerator(
+            meta_model, GeneratorConfig(include_unconditioned=True)
+        )
+        db = tiny_benchmark.dev.database(example.db_id)
+        candidates = generator.generate(example.question, db, [])
+        assert candidates
+        assert all(c.metadata is None for c in candidates)
+
+    def test_no_unconditioned_when_disabled(
+        self, meta_model, tiny_benchmark, example
+    ):
+        generator = CandidateGenerator(
+            meta_model, GeneratorConfig(include_unconditioned=False)
+        )
+        db = tiny_benchmark.dev.database(example.db_id)
+        assert generator.generate(example.question, db, []) == []
+
+    def test_deduplication(self, meta_model, tiny_benchmark, example):
+        generator = CandidateGenerator(meta_model, GeneratorConfig())
+        db = tiny_benchmark.dev.database(example.db_id)
+        same = QueryMetadata(tags=frozenset({"project"}), rating=100)
+        candidates = generator.generate(
+            example.question, db, [same, same, same]
+        )
+        texts = [to_sql(c.query) for c in candidates]
+        assert len(texts) == len(set(texts))
+
+    def test_grounding_toggle(self, meta_model, tiny_benchmark):
+        dev = tiny_benchmark.dev
+        # Find an example whose raw decode emits a placeholder.
+        for example in dev.examples:
+            db = dev.database(example.db_id)
+            raw = CandidateGenerator(
+                meta_model,
+                GeneratorConfig(ground_placeholder_values=False),
+            ).generate(example.question, db, [])
+            if any("'value'" in to_sql(c.query) for c in raw):
+                break
+        else:
+            pytest.skip("no placeholder decode found")
+        grounded = CandidateGenerator(
+            meta_model, GeneratorConfig(ground_placeholder_values=True)
+        ).generate(example.question, db, [])
+        raw_text = " ".join(to_sql(c.query) for c in raw)
+        grounded_text = " ".join(to_sql(c.query) for c in grounded)
+        assert raw_text.count("'value'") >= grounded_text.count("'value'")

@@ -1,0 +1,52 @@
+"""Negative-sample collection tests (Section III-B1)."""
+
+import pytest
+
+from repro.core.negatives import collect_negative_samples
+from repro.sqlkit.compare import exact_match
+
+
+@pytest.fixture(scope="module")
+def meta_model(tiny_benchmark):
+    from repro.models.registry import create_model
+
+    model = create_model("lgesql")
+    model.fit(tiny_benchmark.train, with_metadata=True)
+    return model
+
+
+class TestNegativeSamples:
+    def test_negatives_collected(self, meta_model, tiny_benchmark):
+        negatives = collect_negative_samples(
+            meta_model, tiny_benchmark.train, max_examples=40
+        )
+        assert negatives
+
+    def test_negatives_are_not_gold(self, meta_model, tiny_benchmark):
+        negatives = collect_negative_samples(
+            meta_model, tiny_benchmark.train, max_examples=40
+        )
+        for example, wrong_query in negatives:
+            assert not exact_match(wrong_query, example.sql)
+
+    def test_deterministic(self, meta_model, tiny_benchmark):
+        from repro.sqlkit.printer import to_sql
+
+        a = collect_negative_samples(
+            meta_model, tiny_benchmark.train, max_examples=20, seed=5
+        )
+        b = collect_negative_samples(
+            meta_model, tiny_benchmark.train, max_examples=20, seed=5
+        )
+        assert [(e.question, to_sql(q)) for e, q in a] == [
+            (e.question, to_sql(q)) for e, q in b
+        ]
+
+    def test_cap_respected(self, meta_model, tiny_benchmark):
+        negatives = collect_negative_samples(
+            meta_model,
+            tiny_benchmark.train,
+            max_examples=10,
+            per_example=1,
+        )
+        assert len(negatives) <= 10

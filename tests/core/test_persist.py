@@ -1,0 +1,56 @@
+"""Pipeline persistence tests: save -> load -> identical translations."""
+
+import pytest
+
+from repro.core.persist import load_pipeline, save_pipeline
+from repro.sqlkit.printer import to_sql
+
+
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def saved_dir(self, trained_pipeline, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("pipeline")
+        save_pipeline(trained_pipeline, directory)
+        return directory
+
+    def test_files_written(self, saved_dir):
+        for name in (
+            "manifest.json", "model.json", "classifier.json",
+            "composer.json", "weights.npz",
+        ):
+            assert (saved_dir / name).exists()
+
+    def test_loaded_pipeline_translates_identically(
+        self, saved_dir, trained_pipeline, tiny_benchmark
+    ):
+        loaded = load_pipeline(saved_dir)
+        dev = tiny_benchmark.dev
+        for example in dev.examples[:15]:
+            db = dev.database(example.db_id)
+            original = trained_pipeline.translate_ranked(example.question, db)
+            restored = loaded.translate_ranked(example.question, db)
+            assert [to_sql(r.query) for r in original] == [
+                to_sql(r.query) for r in restored
+            ]
+
+    def test_loaded_classifier_predicts_identically(
+        self, saved_dir, trained_pipeline, tiny_benchmark
+    ):
+        loaded = load_pipeline(saved_dir)
+        db = tiny_benchmark.dev.database("pets")
+        question = "How many students have a dog?"
+        assert loaded.classifier.predict(
+            question, db
+        ) == trained_pipeline.classifier.predict(question, db)
+
+    def test_version_check(self, saved_dir, tmp_path):
+        import json
+        import shutil
+
+        copy = tmp_path / "bad"
+        shutil.copytree(saved_dir, copy)
+        manifest = json.loads((copy / "manifest.json").read_text())
+        manifest["version"] = 999
+        (copy / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            load_pipeline(copy)

@@ -1,0 +1,90 @@
+"""Clause-wise similarity-score tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import similarity_score, similarity_unit
+from repro.data.domains import SPIDER_DOMAINS, build_domain
+from repro.data.generator import QuerySampler
+from repro.sqlkit.parser import parse_sql
+
+
+def score(a: str, b: str) -> float:
+    return similarity_score(parse_sql(a), parse_sql(b))
+
+
+class TestScores:
+    def test_gold_scores_ten(self):
+        sql = "SELECT a FROM t WHERE b = 1"
+        assert score(sql, sql) == 10.0
+
+    def test_em_equivalent_scores_ten(self):
+        assert score(
+            "SELECT a, b FROM t WHERE c = 1 AND d = 2",
+            "SELECT b, a FROM t WHERE d = 9 AND c = 3",
+        ) == 10.0
+
+    def test_one_clause_off_penalised(self):
+        value = score(
+            "SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE b > 1"
+        )
+        assert 6.0 <= value < 10.0
+
+    def test_more_differences_score_lower(self):
+        near = score(
+            "SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE b > 1"
+        )
+        far = score(
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT z FROM u WHERE y > 1 GROUP BY z",
+        )
+        assert far < near
+
+    def test_missing_where(self):
+        assert score("SELECT a FROM t", "SELECT a FROM t WHERE b = 1") < 10.0
+
+    def test_setop_vs_plain(self):
+        value = score(
+            "SELECT a FROM t",
+            "SELECT a FROM t EXCEPT SELECT a FROM t WHERE b = 1",
+        )
+        assert value <= 7.5
+
+    def test_limit_mismatch_small_penalty(self):
+        value = score(
+            "SELECT a FROM t ORDER BY b LIMIT 1",
+            "SELECT a FROM t ORDER BY b LIMIT 3",
+        )
+        assert value >= 9.0
+
+    def test_floor_at_zero(self):
+        value = score(
+            "SELECT a FROM t",
+            "SELECT x, count(*) FROM u JOIN v ON u.id = v.uid "
+            "WHERE q = 1 AND w = 2 GROUP BY x HAVING count(*) > 2 "
+            "ORDER BY count(*) DESC LIMIT 5",
+        )
+        assert value >= 0.0
+
+
+class TestUnitScale:
+    def test_unit_is_tenth(self):
+        a = "SELECT a FROM t WHERE b = 1"
+        b = "SELECT a FROM t WHERE b > 1"
+        assert similarity_unit(
+            parse_sql(a), parse_sql(b)
+        ) == pytest.approx(score(a, b) / 10.0)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_bounded_and_reflexive(self, seed):
+        db = build_domain(SPIDER_DOMAINS["pets"], seed=2)
+        sampler = QuerySampler(db, np.random.default_rng(seed))
+        a, b = sampler.sample(), sampler.sample()
+        assert similarity_score(a, a) == 10.0
+        value = similarity_score(a, b)
+        assert 0.0 <= value <= 10.0

@@ -1,0 +1,87 @@
+"""SpiderSim / ScienceBenchmark-sim assembly tests."""
+
+import pytest
+
+from repro.data.sciencebench import build_sciencebenchmark
+from repro.data.spider import build_spider
+from repro.sqlkit.hardness import Hardness
+
+
+class TestSpiderSim:
+    def test_split_sizes(self, tiny_benchmark):
+        assert len(tiny_benchmark.train) > len(tiny_benchmark.dev)
+        assert len(tiny_benchmark.train.databases) >= 16
+
+    def test_splits_share_databases(self, tiny_benchmark):
+        assert tiny_benchmark.train.databases is tiny_benchmark.dev.databases
+
+    def test_splits_disjoint(self, tiny_benchmark):
+        train_keys = {
+            (e.db_id, e.sql_text) for e in tiny_benchmark.train.examples
+        }
+        dev_keys = {
+            (e.db_id, e.sql_text) for e in tiny_benchmark.dev.examples
+        }
+        assert not train_keys & dev_keys
+
+    def test_deterministic(self):
+        a = build_spider(seed=3, train_per_domain=5, dev_per_domain=2)
+        b = build_spider(seed=3, train_per_domain=5, dev_per_domain=2)
+        assert [e.question for e in a.train.examples] == [
+            e.question for e in b.train.examples
+        ]
+
+    def test_hardness_mix(self, tiny_benchmark):
+        buckets = tiny_benchmark.train.by_hardness()
+        assert len(buckets[Hardness.EASY]) > 0
+        assert len(buckets[Hardness.MEDIUM]) > 0
+
+    def test_examples_reference_valid_databases(self, tiny_benchmark):
+        for example in tiny_benchmark.dev.examples:
+            db = tiny_benchmark.dev.database(example.db_id)
+            assert db.schema.db_id == example.db_id
+
+    def test_summary_renders(self, tiny_benchmark):
+        text = tiny_benchmark.summary()
+        assert "train=" in text and "dev=" in text
+
+
+class TestScienceBenchmark:
+    @pytest.fixture(scope="class")
+    def science(self):
+        return build_sciencebenchmark(per_domain=20)
+
+    def test_three_domains(self, science):
+        assert sorted(science) == ["cordis", "oncomx", "sdss"]
+
+    def test_sizes(self, science):
+        for dataset in science.values():
+            assert len(dataset) == 20
+
+    def test_sdss_join_heavy(self, science):
+        from repro.sqlkit.ast import SelectQuery
+
+        joins = sum(
+            1
+            for e in science["sdss"].examples
+            if isinstance(e.sql, SelectQuery) and len(e.sql.from_.tables) > 1
+        )
+        assert joins >= 6
+
+    def test_symbolic_columns_present(self, science):
+        schema = science["sdss"].database("sdss").schema
+        assert schema.table("specobj").has_column("specobjid")
+
+    def test_jargon_applied(self, science):
+        questions = " ".join(
+            e.question.lower() for e in science["sdss"].examples
+        )
+        assert any(
+            cue in questions
+            for cue in ("brighter than", "fainter than", "having", "binned by")
+        )
+
+    def test_dataset_subset_helper(self, science):
+        dataset = science["oncomx"]
+        subset = dataset.subset(lambda e: "gene" in e.question.lower())
+        assert len(subset) <= len(dataset)

@@ -1,0 +1,44 @@
+"""Dataset container tests."""
+
+from repro.data.dataset import Dataset, Example
+from repro.sqlkit.hardness import Hardness
+from repro.sqlkit.parser import parse_sql
+
+
+class TestExample:
+    def test_sql_text(self):
+        example = Example(
+            question="q", sql=parse_sql("SELECT a FROM t"), db_id="x"
+        )
+        assert example.sql_text == "SELECT a FROM t"
+
+    def test_hardness_and_rating(self):
+        example = Example(
+            question="q",
+            sql=parse_sql("SELECT a FROM t WHERE b = 1"),
+            db_id="x",
+        )
+        assert example.hardness is Hardness.EASY
+        assert example.rating == 200
+
+
+class TestDataset:
+    def test_len_and_iter(self, tiny_benchmark):
+        dataset = tiny_benchmark.dev
+        assert len(dataset) == len(list(dataset))
+
+    def test_schema_accessor(self, tiny_benchmark):
+        assert tiny_benchmark.dev.schema("pets").db_id == "pets"
+
+    def test_by_hardness_partitions(self, tiny_benchmark):
+        buckets = tiny_benchmark.dev.by_hardness()
+        assert sum(len(v) for v in buckets.values()) == len(
+            tiny_benchmark.dev
+        )
+
+    def test_subset_shares_databases(self, tiny_benchmark):
+        subset = tiny_benchmark.dev.subset(
+            lambda e: e.hardness is Hardness.EASY
+        )
+        assert subset.databases is tiny_benchmark.dev.databases
+        assert all(e.hardness is Hardness.EASY for e in subset.examples)

@@ -1,0 +1,97 @@
+"""Domain catalog and database-builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.domains import SPIDER_DOMAINS, ColSpec, DomainSpec, TableSpec, build_domain
+from repro.schema.schema import NUMBER, TEXT
+
+
+class TestCatalog:
+    def test_catalog_size(self):
+        assert len(SPIDER_DOMAINS) >= 16
+
+    @pytest.mark.parametrize("db_id", sorted(SPIDER_DOMAINS))
+    def test_every_domain_builds(self, db_id):
+        db = build_domain(SPIDER_DOMAINS[db_id], seed=1)
+        assert db.size() > 0
+        for table in db.schema.tables:
+            assert db.table_rows(table.name)
+
+    @pytest.mark.parametrize("db_id", sorted(SPIDER_DOMAINS))
+    def test_foreign_keys_reference_real_columns(self, db_id):
+        schema = build_domain(SPIDER_DOMAINS[db_id], seed=1).schema
+        for fk in schema.foreign_keys:
+            assert schema.table(fk.child_table).has_column(fk.child_column)
+            assert schema.table(fk.parent_table).has_column(fk.parent_column)
+
+    @pytest.mark.parametrize("db_id", sorted(SPIDER_DOMAINS))
+    def test_fk_values_exist_in_parent(self, db_id):
+        db = build_domain(SPIDER_DOMAINS[db_id], seed=2)
+        for fk in db.schema.foreign_keys:
+            parent_values = {
+                v if not isinstance(v, str) else v.lower()
+                for v in db.column_values(fk.parent_table, fk.parent_column)
+            }
+            for value in db.column_values(fk.child_table, fk.child_column):
+                key = value.lower() if isinstance(value, str) else value
+                assert key in parent_values
+
+    def test_deterministic_given_seed(self):
+        a = build_domain(SPIDER_DOMAINS["pets"], seed=9)
+        b = build_domain(SPIDER_DOMAINS["pets"], seed=9)
+        assert a.rows == b.rows
+
+    def test_different_seeds_differ(self):
+        a = build_domain(SPIDER_DOMAINS["pets"], seed=1)
+        b = build_domain(SPIDER_DOMAINS["pets"], seed=2)
+        assert a.rows != b.rows
+
+
+class TestBuilder:
+    def test_pk_sequential(self):
+        spec = DomainSpec(
+            db_id="x",
+            tables=(
+                TableSpec("t", (ColSpec("id", NUMBER, ("pk",)),), rows=5),
+            ),
+        )
+        db = build_domain(spec, seed=1)
+        assert db.column_values("t", "id") == [1, 2, 3, 4, 5]
+
+    def test_unknown_value_spec_rejected(self):
+        spec = DomainSpec(
+            db_id="x",
+            tables=(
+                TableSpec("t", (ColSpec("a", TEXT, ("bogus",)),), rows=2),
+            ),
+        )
+        with pytest.raises(ValueError):
+            build_domain(spec, seed=1)
+
+    def test_fk_before_parent_rejected(self):
+        spec = DomainSpec(
+            db_id="x",
+            tables=(
+                TableSpec(
+                    "child", (ColSpec("pid", NUMBER, ("fk", "parent", "id")),),
+                    rows=2,
+                ),
+                TableSpec("parent", (ColSpec("id", NUMBER, ("pk",)),), rows=2),
+            ),
+        )
+        with pytest.raises(ValueError):
+            build_domain(spec, seed=1)
+
+    def test_int_range_respected(self):
+        spec = DomainSpec(
+            db_id="x",
+            tables=(
+                TableSpec(
+                    "t", (ColSpec("v", NUMBER, ("int", 5, 9)),), rows=50
+                ),
+            ),
+        )
+        db = build_domain(spec, seed=1)
+        values = db.column_values("t", "v")
+        assert all(5 <= v <= 9 for v in values)

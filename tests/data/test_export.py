@@ -1,0 +1,74 @@
+"""Spider-format export/import round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.data.export import (
+    examples_to_spider,
+    export_benchmark,
+    load_benchmark,
+    schema_to_spider,
+    spider_to_schema,
+)
+from repro.schema.executor import execute
+from repro.sqlkit.compare import exact_match
+
+
+class TestSchemaRoundTrip:
+    def test_tables_json_entry_shape(self, world_db):
+        entry = schema_to_spider(world_db.schema)
+        assert entry["db_id"] == "world"
+        assert entry["column_names_original"][0] == [-1, "*"]
+        assert entry["table_names_original"] == ["country", "countrylanguage"]
+        assert entry["foreign_keys"]  # the FK is exported
+
+    def test_round_trip_schema(self, world_db):
+        entry = schema_to_spider(world_db.schema)
+        rebuilt = spider_to_schema(entry)
+        assert rebuilt.db_id == "world"
+        assert rebuilt.table("country").has_column("population")
+        assert rebuilt.table("country").column("population").ctype == "number"
+        fk = rebuilt.join_condition("countrylanguage", "country")
+        assert fk is not None and fk.parent_column == "code"
+
+    def test_json_serializable(self, world_db):
+        json.dumps(schema_to_spider(world_db.schema))
+
+
+class TestBenchmarkRoundTrip:
+    @pytest.fixture(scope="class")
+    def exported(self, tiny_benchmark, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("spider_export")
+        export_benchmark(tiny_benchmark, directory)
+        return directory
+
+    def test_layout(self, exported):
+        assert (exported / "tables.json").exists()
+        assert (exported / "train.json").exists()
+        assert (exported / "dev.json").exists()
+        assert (exported / "database" / "pets" / "rows.json").exists()
+
+    def test_examples_shape(self, tiny_benchmark):
+        records = examples_to_spider(tiny_benchmark.dev)
+        assert all(
+            set(record) == {"db_id", "question", "query"}
+            for record in records
+        )
+
+    def test_round_trip_examples(self, exported, tiny_benchmark):
+        loaded = load_benchmark(exported)
+        assert len(loaded.train) == len(tiny_benchmark.train)
+        assert len(loaded.dev) == len(tiny_benchmark.dev)
+        for original, reloaded in zip(
+            tiny_benchmark.dev.examples[:20], loaded.dev.examples[:20]
+        ):
+            assert original.question == reloaded.question
+            assert exact_match(original.sql, reloaded.sql)
+
+    def test_round_trip_rows_executable(self, exported, tiny_benchmark):
+        loaded = load_benchmark(exported)
+        example = loaded.dev.examples[0]
+        db = loaded.dev.database(example.db_id)
+        original_db = tiny_benchmark.dev.database(example.db_id)
+        assert execute(example.sql, db) == execute(example.sql, original_db)

@@ -1,0 +1,121 @@
+"""Query sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.domains import SPIDER_DOMAINS, build_domain
+from repro.data.generator import DEFAULT_WEIGHTS, QuerySampler, SamplerConfig
+from repro.schema.executor import execute
+from repro.sqlkit.ast import SelectQuery, SetQuery
+from repro.sqlkit.hardness import Hardness, hardness_level
+
+
+@pytest.fixture(scope="module")
+def pets_db():
+    return build_domain(SPIDER_DOMAINS["pets"], seed=3)
+
+
+@pytest.fixture()
+def sampler(pets_db):
+    return QuerySampler(pets_db, np.random.default_rng(0))
+
+
+class TestSampling:
+    def test_sample_is_executable(self, sampler, pets_db):
+        for __ in range(30):
+            query = sampler.sample()
+            execute(query, pets_db)  # must not raise
+
+    def test_mostly_nonempty_results(self, pets_db):
+        sampler = QuerySampler(pets_db, np.random.default_rng(1))
+        nonempty = sum(
+            1 for __ in range(60) if execute(sampler.sample(), pets_db)
+        )
+        assert nonempty >= 40
+
+    def test_deterministic_given_rng_seed(self, pets_db):
+        a = QuerySampler(pets_db, np.random.default_rng(5)).sample_many(10)
+        b = QuerySampler(pets_db, np.random.default_rng(5)).sample_many(10)
+        assert a == b
+
+    def test_template_coverage(self, pets_db):
+        sampler = QuerySampler(pets_db, np.random.default_rng(2))
+        queries = sampler.sample_many(300)
+        has_setop = any(isinstance(q, SetQuery) for q in queries)
+        has_group = any(
+            isinstance(q, SelectQuery) and q.group_by for q in queries
+        )
+        has_order = any(
+            isinstance(q, SelectQuery) and q.order_by for q in queries
+        )
+        has_join = any(
+            isinstance(q, SelectQuery) and len(q.from_.tables) > 1
+            for q in queries
+        )
+        has_nested = any(
+            isinstance(q, SelectQuery)
+            and q.where is not None
+            and any(p.has_subquery for p in q.where.predicates)
+            for q in queries
+        )
+        assert all((has_setop, has_group, has_order, has_join, has_nested))
+
+    def test_hardness_mix_spans_levels(self, pets_db):
+        sampler = QuerySampler(pets_db, np.random.default_rng(4))
+        levels = {hardness_level(q) for q in sampler.sample_many(250)}
+        assert Hardness.EASY in levels
+        assert Hardness.MEDIUM in levels
+        assert (Hardness.HARD in levels) or (Hardness.EXTRA in levels)
+
+    def test_projection_avoids_key_columns(self, pets_db):
+        config = SamplerConfig(
+            weights={"projection": 1.0}
+        )
+        sampler = QuerySampler(pets_db, np.random.default_rng(6), config)
+        schema = pets_db.schema
+        for __ in range(40):
+            query = sampler.sample()
+            table = schema.table(query.from_.tables[0])
+            # Tables made only of key columns are exempt from the rule.
+            if all(
+                schema.is_key_column(table.name, c.name)
+                for c in table.columns
+            ):
+                continue
+            for expr in query.select:
+                assert not schema.is_key_column(expr.table, expr.column)
+
+    def test_custom_weights_respected(self, pets_db):
+        config = SamplerConfig(weights={"count_star": 1.0})
+        sampler = QuerySampler(pets_db, np.random.default_rng(7), config)
+        queries = sampler.sample_many(20)
+        count_star = sum(
+            1
+            for q in queries
+            if isinstance(q, SelectQuery)
+            and any(
+                getattr(e, "func", None) == "count" for e in q.select
+            )
+        )
+        assert count_star >= 18  # falls back to projection only on failure
+
+    def test_three_way_join_template(self, pets_db):
+        config = SamplerConfig(weights={"join_chain": 1.0})
+        sampler = QuerySampler(pets_db, np.random.default_rng(8), config)
+        queries = sampler.sample_many(10)
+        assert any(
+            isinstance(q, SelectQuery) and len(q.from_.tables) == 3
+            for q in queries
+        )
+
+    def test_max_where_predicates(self, pets_db):
+        config = SamplerConfig(
+            weights={"projection_where": 1.0}, max_where_predicates=3
+        )
+        sampler = QuerySampler(pets_db, np.random.default_rng(9), config)
+        counts = set()
+        for __ in range(80):
+            query = sampler.sample()
+            if isinstance(query, SelectQuery) and query.where is not None:
+                counts.add(len(query.where.predicates))
+        assert 3 in counts

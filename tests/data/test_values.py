@@ -1,0 +1,33 @@
+"""Value-pool helper tests."""
+
+import numpy as np
+
+from repro.data import values as V
+
+
+class TestPools:
+    def test_pools_nonempty(self):
+        for pool in (
+            V.PERSON_FIRST, V.PERSON_LAST, V.CITIES, V.COUNTRIES,
+            V.LANGUAGES, V.GENRES, V.PET_TYPES, V.MAJORS,
+        ):
+            assert len(pool) >= 5
+
+    def test_sample_deterministic(self):
+        a = V.sample(V.CITIES, np.random.default_rng(3))
+        b = V.sample(V.CITIES, np.random.default_rng(3))
+        assert a == b
+
+    def test_sample_unique_within_pool(self):
+        values = V.sample_unique(V.CITIES, 10, np.random.default_rng(1))
+        assert len(values) == len(set(values)) == 10
+
+    def test_sample_unique_beyond_pool_suffixes(self):
+        small = ("a", "b")
+        values = V.sample_unique(small, 5, np.random.default_rng(1))
+        assert len(values) == 5
+        assert len(set(values)) == 5
+
+    def test_person_name_two_parts(self):
+        name = V.person_name(np.random.default_rng(0))
+        assert len(name.split()) == 2

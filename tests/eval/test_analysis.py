@@ -1,0 +1,30 @@
+"""Failure-analysis tests (Section IV-E taxonomy)."""
+
+import pytest
+
+from repro.eval.analysis import analyze_failures
+
+
+class TestFailureAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, trained_pipeline, tiny_benchmark):
+        return analyze_failures(
+            trained_pipeline, tiny_benchmark.dev, limit=50
+        )
+
+    def test_accounting(self, analysis):
+        assert analysis.correct + len(analysis.cases) == analysis.total
+
+    def test_categories_valid(self, analysis):
+        valid = {
+            "metadata mismatch", "auto-regressive decoding", "ranking",
+        }
+        assert all(case.category in valid for case in analysis.cases)
+
+    def test_counts_sum(self, analysis):
+        assert sum(analysis.counts().values()) == len(analysis.cases)
+
+    def test_render(self, analysis):
+        text = analysis.render()
+        assert "Failure analysis" in text
+        assert "ranking" in text

@@ -1,0 +1,104 @@
+"""Evaluation harness tests."""
+
+import pytest
+
+from repro.eval.evaluate import (
+    EvalRecord,
+    EvalResult,
+    evaluate_metasql,
+    evaluate_model,
+    statement_types,
+)
+from repro.eval.report import delta, format_table, pct
+from repro.sqlkit.parser import parse_sql
+
+
+class TestStatementTypes:
+    def test_orderby(self):
+        assert "orderby" in statement_types(
+            parse_sql("SELECT a FROM t ORDER BY b")
+        )
+
+    def test_groupby(self):
+        assert "groupby" in statement_types(
+            parse_sql("SELECT a FROM t GROUP BY a")
+        )
+
+    def test_nested_from_subquery_predicate_and_setop(self):
+        assert "nested" in statement_types(
+            parse_sql("SELECT a FROM t WHERE b IN (SELECT c FROM u)")
+        )
+        assert "nested" in statement_types(
+            parse_sql("SELECT a FROM t UNION SELECT a FROM u")
+        )
+
+    def test_negation(self):
+        assert "negation" in statement_types(
+            parse_sql("SELECT a FROM t WHERE b != 1")
+        )
+        assert "negation" in statement_types(
+            parse_sql("SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)")
+        )
+
+    def test_plain_has_no_tags(self):
+        assert statement_types(parse_sql("SELECT a FROM t")) == set()
+
+
+class TestEvaluateModel:
+    @pytest.fixture(scope="class")
+    def result(self, fitted_lgesql, tiny_benchmark):
+        return evaluate_model(
+            fitted_lgesql, tiny_benchmark.dev, limit=50
+        )
+
+    def test_record_count(self, result):
+        assert len(result.records) == 50
+
+    def test_em_between_zero_and_one(self, result):
+        assert 0.0 <= result.em <= 1.0
+
+    def test_precision_monotone(self, result):
+        assert result.precision_at(1) <= result.precision_at(3)
+        assert result.precision_at(3) <= result.precision_at(5)
+
+    def test_mrr_at_least_p1(self, result):
+        assert result.mrr >= result.precision_at(1) - 1e-9
+
+    def test_hardness_breakdown_covers_levels(self, result):
+        breakdown = result.em_by_hardness()
+        assert set(breakdown) == {"easy", "medium", "hard", "extra"}
+
+    def test_easy_at_least_extra(self, result):
+        breakdown = result.em_by_hardness()
+        assert breakdown["easy"] >= breakdown["extra"]
+
+    def test_statement_type_breakdown(self, result):
+        breakdown = result.em_by_statement_type()
+        assert set(breakdown) == {"orderby", "groupby", "nested", "negation"}
+
+
+class TestEvaluateMetaSQL:
+    def test_pipeline_evaluation(self, trained_pipeline, tiny_benchmark):
+        result = evaluate_metasql(
+            trained_pipeline, tiny_benchmark.dev, limit=25
+        )
+        assert len(result.records) == 25
+        assert 0.0 <= result.em <= 1.0
+        assert 0.0 <= result.ex <= 1.0
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["a", "bb"], [["x", 0.5], ["longer", 0.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "50.0" in text and "25.0" in text
+
+    def test_pct(self):
+        assert pct(0.774) == "77.4"
+
+    def test_delta_sign(self):
+        assert delta(0.774, 0.751) == "(+2.3)"
+        assert delta(0.70, 0.75).startswith("(-")

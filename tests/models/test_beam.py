@@ -1,0 +1,54 @@
+"""Generic beam-search tests."""
+
+from repro.models.beam import Beam, expand, run
+
+
+def make_expander(choices):
+    def expander(state):
+        return [(lp, state + [c]) for lp, c in choices]
+
+    return expander
+
+
+class TestExpand:
+    def test_keeps_top_width(self):
+        beams = [Beam(score=0.0, state=[])]
+        expander = make_expander([(-1.0, "a"), (-0.5, "b"), (-2.0, "c")])
+        result = expand(beams, expander, width=2)
+        assert [b.state[-1] for b in result] == ["b", "a"]
+
+    def test_empty_expansion_keeps_state(self):
+        beams = [Beam(score=-1.0, state=["x"])]
+        result = expand(beams, lambda s: [], width=3)
+        assert result == beams
+
+    def test_scores_accumulate(self):
+        beams = [Beam(score=-1.0, state=[])]
+        result = expand(beams, make_expander([(-0.5, "a")]), width=1)
+        assert result[0].score == -1.5
+
+
+class TestRun:
+    def test_multi_stage_best_path(self):
+        stages = [
+            make_expander([(-0.1, "a1"), (-1.0, "a2")]),
+            make_expander([(-0.2, "b1"), (-0.05, "b2")]),
+        ]
+        final = run([Beam(score=0.0, state=[])], stages, width=4)
+        assert final[0].state == ["a1", "b2"]
+
+    def test_width_one_is_greedy(self):
+        stages = [
+            make_expander([(-0.1, "good"), (-0.2, "trap")]),
+            # After 'good' the only continuation is expensive; greedy
+            # cannot recover — the hallmark of local decoding.
+        ]
+        final = run([Beam(score=0.0, state=[])], stages, width=1)
+        assert len(final) == 1
+        assert final[0].state == ["good"]
+
+    def test_initial_beams_pruned(self):
+        initial = [Beam(score=-i, state=[i]) for i in range(10)]
+        final = run(initial, [], width=3)
+        assert len(final) == 3
+        assert final[0].state == [0]

@@ -1,0 +1,81 @@
+"""Number-mention extraction tests."""
+
+from repro.models.mentions import extract_mentions, phrase_positions, question_tokens
+
+
+def mention(question: str, index: int = 0):
+    return extract_mentions(question)[index]
+
+
+class TestTokens:
+    def test_decimal_numbers_kept_whole(self):
+        assert "23.8" in question_tokens("mpg is less than 23.8")
+
+    def test_trailing_punctuation_stripped(self):
+        assert question_tokens("named Resolute.")[-1] == "resolute"
+
+
+class TestOperators:
+    def test_greater(self):
+        assert mention("age is greater than 30").op == ">"
+
+    def test_more_than(self):
+        assert mention("with more than 5 pets").op == ">"
+
+    def test_less(self):
+        assert mention("salary is less than 100").op == "<"
+
+    def test_at_least_bigram(self):
+        assert mention("whose age is at least 21").op == ">="
+
+    def test_no_more_bigram(self):
+        assert mention("with no more than 7 records").op == "<="
+
+    def test_no_less_bigram(self):
+        assert mention("with no less than 7 records").op == ">="
+
+    def test_default_equality(self):
+        assert mention("in the year 1999").op == "="
+
+
+class TestRoles:
+    def test_count_threshold(self):
+        m = mention("appearing more than 3 times")
+        assert m.is_count_threshold
+
+    def test_records_threshold(self):
+        assert mention("with more than 2 records").is_count_threshold
+
+    def test_limit(self):
+        assert mention("show the top 4 players").is_limit
+
+    def test_between_bounds(self):
+        mentions = extract_mentions("age is between 18 and 30")
+        assert mentions[0].is_between_bound
+        assert mentions[1].is_between_bound
+
+    def test_between_does_not_leak(self):
+        mentions = extract_mentions(
+            "age between 18 and 30 and salary above 50"
+        )
+        assert not mentions[2].is_between_bound
+
+    def test_positions_increase(self):
+        mentions = extract_mentions("a 1 b 2 c 3")
+        positions = [m.position for m in mentions]
+        assert positions == sorted(positions)
+
+    def test_values_parsed(self):
+        mentions = extract_mentions("between 1.5 and 3")
+        assert mentions[0].value == 1.5
+        assert mentions[1].value == 3
+
+
+class TestPhrasePositions:
+    def test_matches_words(self):
+        tokens = question_tokens("find the pet age of cats")
+        assert phrase_positions(tokens, "pet age") == [2, 3]
+
+    def test_absent_phrase(self):
+        tokens = question_tokens("nothing here")
+        assert phrase_positions(tokens, "pet age") == []

@@ -1,0 +1,45 @@
+"""Model registry tests."""
+
+import pytest
+
+from repro.models.llm import FewShotLLM
+from repro.models.registry import DISPLAY_NAMES, MODEL_PRESETS, create_model
+from repro.models.seq2seq import GrammarSeq2Seq
+
+
+class TestRegistry:
+    def test_all_six_models(self):
+        assert sorted(MODEL_PRESETS) == [
+            "bridge", "chatgpt", "gap", "gpt4", "lgesql", "resdsql",
+        ]
+
+    def test_seq2seq_presets(self):
+        for name in ("bridge", "gap", "lgesql", "resdsql"):
+            model = create_model(name)
+            assert isinstance(model, GrammarSeq2Seq)
+            assert not isinstance(model, FewShotLLM)
+
+    def test_llm_presets(self):
+        for name in ("chatgpt", "gpt4"):
+            assert isinstance(create_model(name), FewShotLLM)
+
+    def test_value_prediction_profile(self):
+        """GAP/LGESQL emit placeholders; the others predict values."""
+        assert not create_model("gap").predicts_values
+        assert not create_model("lgesql").predicts_values
+        assert create_model("bridge").predicts_values
+        assert create_model("resdsql").predicts_values
+        assert create_model("gpt4").predicts_values
+
+    def test_case_insensitive(self):
+        assert create_model("LGESQL").name == "lgesql"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            create_model("t5")
+
+    def test_fresh_instances(self):
+        assert create_model("bridge") is not create_model("bridge")
+
+    def test_display_names_cover_presets(self):
+        assert set(DISPLAY_NAMES) == set(MODEL_PRESETS)

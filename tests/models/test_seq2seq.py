@@ -1,0 +1,170 @@
+"""GrammarSeq2Seq behaviour tests."""
+
+import pytest
+
+from repro.core.metadata import QueryMetadata, extract_metadata
+from repro.models.registry import create_model
+from repro.models.seq2seq import GrammarSeq2Seq, ModelProfile, estimate_rating
+from repro.models.sketch import extract_sketch
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.printer import to_sql
+
+
+class TestTraining:
+    def test_translate_before_fit_raises(self, tiny_benchmark):
+        model = create_model("lgesql")
+        db = tiny_benchmark.dev.database("pets")
+        with pytest.raises(RuntimeError):
+            model.translate("how many pets", db)
+
+    def test_fit_returns_self(self, tiny_benchmark):
+        model = create_model("bridge")
+        assert model.fit(tiny_benchmark.train) is model
+
+    def test_metadata_flag(self, tiny_benchmark):
+        model = create_model("bridge")
+        model.fit(tiny_benchmark.train, with_metadata=True)
+        assert model.metadata_trained
+
+
+class TestDecoding:
+    def test_beam_returns_candidates(self, fitted_lgesql, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        candidates = fitted_lgesql.translate(
+            "How many students are there?", db, beam_size=5
+        )
+        assert 1 <= len(candidates) <= 5
+        # Scores are sorted best-first.
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_candidates_unique(self, fitted_lgesql, tiny_benchmark):
+        db = tiny_benchmark.dev.database("cars")
+        candidates = fitted_lgesql.translate(
+            "Show the weight of cars with more than 100 horsepower",
+            db,
+            beam_size=5,
+        )
+        texts = [to_sql(c.query) for c in candidates]
+        assert len(texts) == len(set(texts))
+
+    def test_deterministic(self, fitted_lgesql, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        a = fitted_lgesql.translate("List all student last names", db)
+        b = fitted_lgesql.translate("List all student last names", db)
+        assert [to_sql(c.query) for c in a] == [to_sql(c.query) for c in b]
+
+    def test_easy_question_translates_correctly(
+        self, fitted_lgesql, tiny_benchmark
+    ):
+        db = tiny_benchmark.dev.database("pets")
+        candidates = fitted_lgesql.translate(
+            "How many students are there?", db, beam_size=3
+        )
+        gold = parse_sql("SELECT count(*) FROM student")
+        assert any(exact_match(c.query, gold) for c in candidates)
+
+    def test_value_placeholders_for_lgesql(
+        self, fitted_lgesql, tiny_benchmark
+    ):
+        """LGESQL does not predict values: literals become 'value'."""
+        db = tiny_benchmark.dev.database("pets")
+        candidates = fitted_lgesql.translate(
+            "Find the last names of students whose major is Biology",
+            db,
+            beam_size=3,
+        )
+        joined = " ".join(to_sql(c.query) for c in candidates)
+        assert "'Biology'" not in joined
+
+    def test_bridge_predicts_values(self, tiny_benchmark):
+        model = create_model("bridge").fit(tiny_benchmark.train)
+        db = tiny_benchmark.dev.database("pets")
+        candidates = model.translate(
+            "Find the last names of students whose major is Biology",
+            db,
+            beam_size=3,
+        )
+        joined = " ".join(to_sql(c.query) for c in candidates)
+        assert "Biology" in joined
+
+
+class TestMetadataConditioning:
+    @pytest.fixture(scope="class")
+    def meta_model(self, tiny_benchmark):
+        model = create_model("lgesql")
+        model.fit(tiny_benchmark.train, with_metadata=True)
+        return model
+
+    def test_tags_steer_structure(self, meta_model, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        question = "Find the last names of students"
+        order_meta = QueryMetadata(
+            tags=frozenset({"project", "order", "limit"}), rating=175
+        )
+        candidates = meta_model.translate(
+            question, db, metadata=order_meta, beam_size=3
+        )
+        assert candidates
+        sketches = [extract_sketch(c.query) for c in candidates]
+        assert any(s.order != "none" for s in sketches)
+
+    def test_conditioning_ignored_without_metadata_training(
+        self, fitted_lgesql, tiny_benchmark
+    ):
+        db = tiny_benchmark.dev.database("pets")
+        question = "Find the last names of students"
+        plain = fitted_lgesql.translate(question, db, beam_size=3)
+        order_meta = QueryMetadata(
+            tags=frozenset({"project", "order", "limit"}), rating=175
+        )
+        conditioned = fitted_lgesql.translate(
+            question, db, metadata=order_meta, beam_size=3
+        )
+        assert [to_sql(c.query) for c in plain] == [
+            to_sql(c.query) for c in conditioned
+        ]
+
+    def test_incorrect_indicator_degrades(self, meta_model, tiny_benchmark):
+        dev = tiny_benchmark.dev
+        correct_hits = 0
+        incorrect_hits = 0
+        for example in dev.examples[:40]:
+            db = dev.database(example.db_id)
+            gold_meta = extract_metadata(example.sql)
+            good = meta_model.translate(
+                example.question, db, metadata=gold_meta, beam_size=1
+            )
+            bad = meta_model.translate(
+                example.question,
+                db,
+                metadata=gold_meta.with_correctness("incorrect"),
+                beam_size=1,
+            )
+            if good and exact_match(good[0].query, example.sql):
+                correct_hits += 1
+            if bad and exact_match(bad[0].query, example.sql):
+                incorrect_hits += 1
+        assert correct_hits > incorrect_hits
+
+
+class TestRatingEstimate:
+    def test_monotone_in_structure(self):
+        plain = extract_sketch(parse_sql("SELECT a FROM t"))
+        heavy = extract_sketch(
+            parse_sql(
+                "SELECT a FROM t JOIN u ON t.id = u.tid "
+                "WHERE b = 1 GROUP BY a ORDER BY a LIMIT 1"
+            )
+        )
+        assert estimate_rating(heavy) > estimate_rating(plain)
+
+    def test_close_to_true_rating(self, tiny_benchmark):
+        from repro.sqlkit.hardness import hardness_rating
+
+        errors = []
+        for example in tiny_benchmark.dev.examples[:60]:
+            estimate = estimate_rating(extract_sketch(example.sql))
+            errors.append(abs(estimate - hardness_rating(example.sql)))
+        assert sum(errors) / len(errors) < 120

@@ -1,0 +1,87 @@
+"""Layer and optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import MLP, Linear, Module
+from repro.nn.losses import mse_loss
+from repro.nn.optim import SGD, Adam
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_parameters_collected(self, rng):
+        layer = Linear(4, 3, rng)
+        assert len(layer.parameters()) == 2
+
+    def test_bias_starts_zero(self, rng):
+        layer = Linear(4, 3, rng)
+        assert np.allclose(layer.bias.data, 0.0)
+
+
+class TestMLP:
+    def test_needs_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_parameter_count(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        assert len(mlp.parameters()) == 4
+
+    def test_nested_module_collection(self, rng):
+        class Wrapper(Module):
+            def __init__(self):
+                self.inner = MLP([2, 2], rng)
+                self.towers = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        assert len(Wrapper().parameters()) == 6
+
+    def test_zero_grad(self, rng):
+        mlp = MLP([3, 2], rng)
+        out = mlp(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert mlp.layers[0].weight.grad is not None
+        mlp.zero_grad()
+        assert mlp.layers[0].weight.grad is None
+
+
+class TestOptimizers:
+    def _regression_task(self, rng):
+        features = rng.normal(size=(64, 5))
+        true_weights = rng.normal(size=5)
+        targets = features @ true_weights
+        return features, targets
+
+    @pytest.mark.parametrize("optimizer_cls", [SGD, Adam])
+    def test_fits_linear_regression(self, optimizer_cls, rng):
+        features, targets = self._regression_task(rng)
+        model = Linear(5, 1, rng)
+        lr = 0.05 if optimizer_cls is SGD else 0.05
+        optimizer = optimizer_cls(model.parameters(), lr=lr)
+        first = None
+        for __ in range(300):
+            predictions = model(Tensor(features)).reshape(-1)
+            loss = mse_loss(predictions, Tensor(targets))
+            if first is None:
+                first = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first * 0.05
+
+    def test_adam_skips_gradless_params(self, rng):
+        a = Tensor(np.ones(3), requires_grad=True)
+        optimizer = Adam([a], lr=0.1)
+        optimizer.step()  # no grad: must not move or crash
+        assert np.allclose(a.data, 1.0)
+
+    def test_weight_decay_shrinks(self, rng):
+        a = Tensor(np.ones(3) * 10, requires_grad=True)
+        a.grad = np.zeros(3)
+        SGD([a], lr=0.1, weight_decay=0.5).step()
+        assert np.all(a.data < 10)

@@ -1,0 +1,126 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.autograd import Tensor
+from repro.nn.losses import (
+    bce_with_logits,
+    mse_loss,
+    neural_ndcg_loss,
+    neural_sort,
+    triplet_loss,
+)
+
+
+class TestMSE:
+    def test_zero_at_target(self):
+        x = Tensor([1.0, 2.0])
+        assert mse_loss(x, Tensor([1.0, 2.0])).item() == 0.0
+
+    def test_value(self):
+        loss = mse_loss(Tensor([0.0, 0.0]), Tensor([2.0, 0.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+
+class TestBCE:
+    def test_confident_correct_is_small(self):
+        loss = bce_with_logits(Tensor([10.0, -10.0]), Tensor([1.0, 0.0]))
+        assert loss.item() < 0.01
+
+    def test_confident_wrong_is_large(self):
+        loss = bce_with_logits(Tensor([10.0]), Tensor([0.0]))
+        assert loss.item() > 5.0
+
+    def test_matches_reference(self):
+        logits = np.array([0.3, -0.7, 1.5])
+        targets = np.array([1.0, 0.0, 1.0])
+        expected = np.mean(
+            np.maximum(logits, 0)
+            - logits * targets
+            + np.log1p(np.exp(-np.abs(logits)))
+        )
+        loss = bce_with_logits(Tensor(logits), Tensor(targets))
+        assert loss.item() == pytest.approx(expected)
+
+    def test_numerically_stable_extremes(self):
+        loss = bce_with_logits(Tensor([500.0, -500.0]), Tensor([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestTriplet:
+    def test_separated_pair_zero_loss(self):
+        anchor = Tensor([1.0, 0.0])
+        positive = Tensor([1.0, 0.1])
+        negative = Tensor([-1.0, 0.0])
+        assert triplet_loss(anchor, positive, negative).item() == 0.0
+
+    def test_violating_pair_positive_loss(self):
+        anchor = Tensor([1.0, 0.0])
+        positive = Tensor([-1.0, 0.0])
+        negative = Tensor([1.0, 0.1])
+        assert triplet_loss(anchor, positive, negative).item() > 0.0
+
+
+class TestNeuralSort:
+    def test_low_temperature_sorts(self):
+        scores = Tensor(np.array([3.0, 1.0, 2.0]))
+        permutation = neural_sort(scores, tau=0.05)
+        gains = permutation @ Tensor(np.array([30.0, 10.0, 20.0]))
+        assert np.allclose(gains.numpy(), [30.0, 20.0, 10.0], atol=0.01)
+
+    def test_rows_are_stochastic(self):
+        permutation = neural_sort(Tensor([0.5, -1.0, 2.0]), tau=1.0)
+        assert np.allclose(permutation.numpy().sum(axis=1), 1.0)
+
+
+class TestNeuralNDCG:
+    def test_perfect_ranking_near_zero(self):
+        relevance = np.array([3.0, 2.0, 1.0, 0.0])
+        scores = Tensor(np.array([4.0, 3.0, 2.0, 1.0]))
+        loss = neural_ndcg_loss(scores, relevance, tau=0.05)
+        assert loss.item() == pytest.approx(0.0, abs=0.01)
+
+    def test_inverted_ranking_is_worse(self):
+        relevance = np.array([3.0, 2.0, 1.0, 0.0])
+        good = neural_ndcg_loss(
+            Tensor(np.array([4.0, 3.0, 2.0, 1.0])), relevance, tau=0.1
+        )
+        bad = neural_ndcg_loss(
+            Tensor(np.array([1.0, 2.0, 3.0, 4.0])), relevance, tau=0.1
+        )
+        assert bad.item() > good.item()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            neural_ndcg_loss(Tensor(np.zeros(0)), np.zeros(0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_loss_bounded_below_by_zeroish(self, seed):
+        local = np.random.default_rng(seed)
+        relevance = local.uniform(0, 3, size=6)
+        scores = Tensor(local.normal(size=6))
+        loss = neural_ndcg_loss(scores, relevance, tau=0.5)
+        assert loss.item() > -0.05
+
+    def test_trainable(self, rng):
+        from repro.nn.layers import MLP
+        from repro.nn.optim import Adam
+
+        features = rng.normal(size=(12, 4))
+        relevance = rng.uniform(0, 3, size=12)
+        mlp = MLP([4, 8, 1], rng)
+        optimizer = Adam(mlp.parameters(), lr=0.02)
+        first = None
+        for __ in range(120):
+            scores = mlp(Tensor(features)).reshape(-1)
+            loss = neural_ndcg_loss(scores, relevance, tau=0.5)
+            if first is None:
+                first = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first

@@ -1,0 +1,119 @@
+"""Schema model tests."""
+
+import pytest
+
+from repro.schema.schema import NUMBER, Column, ForeignKey, Schema, Table
+from repro.sqlkit.errors import SchemaError
+
+
+@pytest.fixture()
+def schema(world_db):
+    return world_db.schema
+
+
+class TestLookups:
+    def test_table_case_insensitive(self, schema):
+        assert schema.table("COUNTRY").name == "country"
+
+    def test_missing_table_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.table("nope")
+
+    def test_column_lookup(self, schema):
+        column = schema.table("country").column("Population")
+        assert column.ctype == NUMBER
+
+    def test_missing_column_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.table("country").column("nope")
+
+    def test_tables_of_column(self, schema):
+        owners = schema.tables_of_column("population")
+        assert [t.name for t in owners] == ["country"]
+
+    def test_resolve_column_unique(self, schema):
+        resolved = schema.resolve_column(
+            "language", ("country", "countrylanguage")
+        )
+        assert resolved == "countrylanguage"
+
+    def test_resolve_column_ambiguous(self):
+        schema = Schema(
+            db_id="x",
+            tables=(
+                Table("a", (Column("name"),)),
+                Table("b", (Column("name"),)),
+            ),
+        )
+        assert schema.resolve_column("name", ("a", "b")) is None
+
+
+class TestJoins:
+    def test_join_condition(self, schema):
+        fk = schema.join_condition("countrylanguage", "country")
+        assert fk is not None
+        assert fk.parent_column == "code"
+
+    def test_join_condition_symmetric(self, schema):
+        assert schema.join_condition("country", "countrylanguage") is not None
+
+    def test_join_path_direct(self, schema):
+        path = schema.join_path("country", "countrylanguage")
+        assert path == ["country", "countrylanguage"]
+
+    def test_join_path_self(self, schema):
+        assert schema.join_path("country", "country") == ["country"]
+
+    def test_join_path_missing(self, schema):
+        assert schema.join_path("country", "nonexistent") is None
+
+    def test_join_path_transitive(self):
+        schema = Schema(
+            db_id="chain",
+            tables=(
+                Table("a", (Column("id", NUMBER),)),
+                Table("b", (Column("id", NUMBER), Column("aid", NUMBER))),
+                Table("c", (Column("id", NUMBER), Column("bid", NUMBER))),
+            ),
+            foreign_keys=(
+                ForeignKey("b", "aid", "a", "id"),
+                ForeignKey("c", "bid", "b", "id"),
+            ),
+        )
+        assert schema.join_path("a", "c") == ["a", "b", "c"]
+
+
+class TestKeyDetection:
+    def test_fk_columns_are_keys(self, schema):
+        assert schema.is_key_column("countrylanguage", "countrycode")
+        assert schema.is_key_column("country", "code")
+
+    def test_id_suffix_heuristic(self):
+        schema = Schema(
+            db_id="x", tables=(Table("t", (Column("emp_id", NUMBER),)),)
+        )
+        assert schema.is_key_column("t", "emp_id")
+
+    def test_plain_column_not_key(self, schema):
+        assert not schema.is_key_column("country", "population")
+
+
+class TestVocabulary:
+    def test_table_phrase(self, schema):
+        assert schema.table_phrase("countrylanguage") == "countrylanguage"
+
+    def test_column_phrase_prettifies(self):
+        table = Table("t", (Column("pet_age", NUMBER),))
+        schema = Schema(db_id="x", tables=(table,))
+        assert schema.column_phrase("pet_age", "t") == "pet age"
+
+    def test_column_phrase_uses_annotation(self):
+        table = Table(
+            "t", (Column("hs", NUMBER, phrase="training hours"),)
+        )
+        schema = Schema(db_id="x", tables=(table,))
+        assert schema.column_phrase("hs", "t") == "training hours"
+
+    def test_column_pairs(self, schema):
+        pairs = schema.column_pairs()
+        assert len(pairs) == sum(len(t.columns) for t in schema.tables)

@@ -1,0 +1,136 @@
+"""Exact-set-match (EM) comparison tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.domains import SPIDER_DOMAINS, build_domain
+from repro.data.generator import QuerySampler
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.parser import parse_sql
+
+
+def em(a: str, b: str) -> bool:
+    return exact_match(parse_sql(a), parse_sql(b))
+
+
+class TestMatching:
+    def test_identical(self):
+        assert em("SELECT a FROM t", "SELECT a FROM t")
+
+    def test_case_insensitive_identifiers(self):
+        assert em("SELECT Name FROM Country", "select name from country")
+
+    def test_select_order_irrelevant(self):
+        assert em("SELECT a, b FROM t", "SELECT b, a FROM t")
+
+    def test_where_order_irrelevant(self):
+        assert em(
+            "SELECT a FROM t WHERE b = 1 AND c = 2",
+            "SELECT a FROM t WHERE c = 2 AND b = 1",
+        )
+
+    def test_values_ignored(self):
+        assert em(
+            "SELECT a FROM t WHERE b = 'cat'",
+            "SELECT a FROM t WHERE b = 'dog'",
+        )
+
+    def test_alias_differences_ignored(self):
+        assert em(
+            "SELECT T1.a FROM t AS T1 WHERE T1.b = 1",
+            "SELECT t.a FROM t WHERE t.b = 1",
+        )
+
+    def test_union_commutative(self):
+        assert em(
+            "SELECT a FROM t WHERE b = 1 UNION SELECT a FROM t WHERE c = 2",
+            "SELECT a FROM t WHERE c = 2 UNION SELECT a FROM t WHERE b = 1",
+        )
+
+    def test_join_table_order_irrelevant(self):
+        assert em(
+            "SELECT t.a FROM t JOIN u ON t.id = u.tid",
+            "SELECT t.a FROM u JOIN t ON t.id = u.tid",
+        )
+
+
+class TestMismatching:
+    def test_different_column(self):
+        assert not em("SELECT a FROM t", "SELECT b FROM t")
+
+    def test_different_operator(self):
+        assert not em(
+            "SELECT a FROM t WHERE b < 1", "SELECT a FROM t WHERE b <= 1"
+        )
+
+    def test_missing_where(self):
+        assert not em("SELECT a FROM t", "SELECT a FROM t WHERE b = 1")
+
+    def test_connector_mismatch(self):
+        assert not em(
+            "SELECT a FROM t WHERE b = 1 AND c = 2",
+            "SELECT a FROM t WHERE b = 1 OR c = 2",
+        )
+
+    def test_distinct_mismatch(self):
+        assert not em("SELECT DISTINCT a FROM t", "SELECT a FROM t")
+
+    def test_order_direction(self):
+        assert not em(
+            "SELECT a FROM t ORDER BY b", "SELECT a FROM t ORDER BY b DESC"
+        )
+
+    def test_order_key_order_matters(self):
+        assert not em(
+            "SELECT a FROM t ORDER BY b, c", "SELECT a FROM t ORDER BY c, b"
+        )
+
+    def test_limit_value(self):
+        assert not em(
+            "SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 3"
+        )
+
+    def test_except_not_commutative(self):
+        assert not em(
+            "SELECT a FROM t EXCEPT SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t WHERE b = 1 EXCEPT SELECT a FROM t",
+        )
+
+    def test_negation_matters(self):
+        assert not em(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)",
+            "SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)",
+        )
+
+    def test_subquery_structure(self):
+        assert not em(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)",
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)",
+        )
+
+    def test_agg_function(self):
+        assert not em("SELECT max(a) FROM t", "SELECT min(a) FROM t")
+
+    def test_paper_fig1_top1_is_wrong(self):
+        gold = (
+            "SELECT countrycode FROM CountryLanguage EXCEPT "
+            "SELECT countrycode FROM CountryLanguage WHERE language = 'English'"
+        )
+        predicted = "SELECT code FROM CountryLanguage WHERE language != 'value'"
+        assert not em(predicted, gold)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_reflexive_and_symmetric(self, seed):
+        domain = sorted(SPIDER_DOMAINS)[seed % len(SPIDER_DOMAINS)]
+        db = build_domain(SPIDER_DOMAINS[domain], seed=3)
+        sampler = QuerySampler(db, np.random.default_rng(seed))
+        a = sampler.sample()
+        b = sampler.sample()
+        assert exact_match(a, a)
+        assert exact_match(b, b)
+        assert exact_match(a, b) == exact_match(b, a)

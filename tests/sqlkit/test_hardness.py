@@ -1,0 +1,118 @@
+"""Hardness level and rating tests, including paper-calibration anchors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.domains import SPIDER_DOMAINS, build_domain
+from repro.data.generator import QuerySampler
+from repro.sqlkit.ast import (
+    ColumnRef,
+    Condition,
+    FromClause,
+    Literal,
+    OrderItem,
+    Predicate,
+    SelectQuery,
+)
+from repro.sqlkit.hardness import Hardness, hardness_level, hardness_rating
+from repro.sqlkit.parser import parse_sql
+
+
+def level(sql: str) -> Hardness:
+    return hardness_level(parse_sql(sql))
+
+
+def rating(sql: str) -> int:
+    return hardness_rating(parse_sql(sql))
+
+
+class TestLevels:
+    def test_trivial_is_easy(self):
+        assert level("SELECT a FROM t") is Hardness.EASY
+
+    def test_single_where_is_easy(self):
+        assert level("SELECT a FROM t WHERE b = 1") is Hardness.EASY
+
+    def test_join_plus_where_is_medium(self):
+        assert (
+            level("SELECT t.a FROM t JOIN u ON t.id = u.tid WHERE u.b = 1")
+            is Hardness.MEDIUM
+        )
+
+    def test_set_op_is_hard_or_extra(self):
+        result = level("SELECT a FROM t EXCEPT SELECT a FROM t WHERE b = 1")
+        assert result in (Hardness.HARD, Hardness.EXTRA)
+
+    def test_kitchen_sink_is_extra(self):
+        sql = (
+            "SELECT a, count(*) FROM t JOIN u ON t.id = u.tid "
+            "WHERE b = 1 OR c = 2 GROUP BY a ORDER BY count(*) DESC LIMIT 1"
+        )
+        assert level(sql) is Hardness.EXTRA
+
+
+class TestRatingAnchors:
+    """The paper's worked rating examples (DESIGN.md §4 calibration)."""
+
+    def test_base_rating(self):
+        assert rating("SELECT a FROM t") == 100
+
+    def test_where_only_rates_200(self):
+        # Fig. 4: the 'where'-conditioned candidate carries rating 200.
+        assert rating("SELECT a FROM t WHERE b = 'x'") == 200
+
+    def test_project_except_rates_400(self):
+        # Fig. 1/Section III-A: PROJECT + EXCEPT = 100 base + 300 EXCEPT.
+        sql = (
+            "SELECT countrycode FROM cl EXCEPT "
+            "SELECT countrycode FROM cl WHERE language = 'English'"
+        )
+        # Our calibration: base 100 + setop 300 + inner where 100 = 500.
+        assert rating(sql) == 500
+
+    def test_where_subquery_rates_450(self):
+        # Section IV-E: oracle metadata (450, where, subquery).
+        sql = "SELECT a, b FROM t WHERE id NOT IN (SELECT tid FROM u)"
+        assert rating(sql) == 450
+
+
+class TestRatingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_rating_positive_and_quantised(self, seed):
+        domain = sorted(SPIDER_DOMAINS)[seed % len(SPIDER_DOMAINS)]
+        db = build_domain(SPIDER_DOMAINS[domain], seed=4)
+        sampler = QuerySampler(db, np.random.default_rng(seed))
+        value = hardness_rating(sampler.sample())
+        assert value >= 100
+        assert value % 25 == 0
+
+    def test_adding_clause_never_lowers_rating(self):
+        base = SelectQuery(
+            select=(ColumnRef(column="a"),),
+            from_=FromClause(tables=("t",)),
+        )
+        with_where = SelectQuery(
+            select=base.select,
+            from_=base.from_,
+            where=Condition(
+                predicates=(
+                    Predicate(
+                        left=ColumnRef(column="b"), op="=", right=Literal(1)
+                    ),
+                )
+            ),
+        )
+        with_order = SelectQuery(
+            select=base.select,
+            from_=base.from_,
+            order_by=(OrderItem(expr=ColumnRef(column="b")),),
+        )
+        assert hardness_rating(with_where) > hardness_rating(base)
+        assert hardness_rating(with_order) > hardness_rating(base)
+
+    def test_more_predicates_rate_higher(self):
+        one = rating("SELECT a FROM t WHERE b = 1")
+        two = rating("SELECT a FROM t WHERE b = 1 AND c = 2")
+        assert two > one

@@ -1,0 +1,41 @@
+"""Normalization tests."""
+
+from repro.sqlkit.ast import ColumnRef, Literal
+from repro.sqlkit.normalize import normalize
+from repro.sqlkit.parser import parse_sql
+
+
+class TestNormalize:
+    def test_lowercases_identifiers(self):
+        query = normalize(parse_sql("SELECT Name FROM Country"))
+        assert query.select[0] == ColumnRef(column="name")
+        assert query.from_.tables == ("country",)
+
+    def test_lowercases_string_literals(self):
+        query = normalize(parse_sql("SELECT a FROM t WHERE b = 'CAT'"))
+        assert query.where.predicates[0].right == Literal("cat")
+
+    def test_negated_equality_becomes_neq(self):
+        query = normalize(parse_sql("SELECT a FROM t WHERE NOT b = 1"))
+        predicate = query.where.predicates[0]
+        assert predicate.op == "!="
+        assert not predicate.negated
+
+    def test_idempotent(self):
+        query = parse_sql(
+            "SELECT T1.A FROM Tbl AS T1 WHERE T1.B IN (SELECT C FROM U)"
+        )
+        once = normalize(query)
+        assert normalize(once) == once
+
+    def test_subqueries_normalized(self):
+        query = normalize(
+            parse_sql("SELECT a FROM t WHERE b IN (SELECT C FROM U)")
+        )
+        sub = query.where.predicates[0].right
+        assert sub.select[0] == ColumnRef(column="c")
+
+    def test_structural_equality_after_normalize(self):
+        a = normalize(parse_sql("SELECT A FROM T WHERE B = 'X'"))
+        b = normalize(parse_sql("select a from t where b = 'x'"))
+        assert a == b

@@ -1,0 +1,207 @@
+"""Parser tests: Spider-style SQL into the AST."""
+
+import pytest
+
+from repro.sqlkit.ast import (
+    AggExpr,
+    ColumnRef,
+    Literal,
+    Predicate,
+    SelectQuery,
+    SetQuery,
+    Star,
+)
+from repro.sqlkit.errors import SqlParseError
+from repro.sqlkit.parser import parse_sql
+
+
+class TestBasicSelect:
+    def test_simple_projection(self):
+        query = parse_sql("SELECT name FROM country")
+        assert isinstance(query, SelectQuery)
+        assert query.select == (ColumnRef(column="name"),)
+        assert query.from_.tables == ("country",)
+
+    def test_multiple_projections(self):
+        query = parse_sql("SELECT name, population FROM country")
+        assert len(query.select) == 2
+
+    def test_distinct(self):
+        query = parse_sql("SELECT DISTINCT continent FROM country")
+        assert query.distinct
+
+    def test_star(self):
+        query = parse_sql("SELECT * FROM country")
+        assert query.select == (Star(),)
+
+    def test_qualified_star(self):
+        query = parse_sql("SELECT country.* FROM country")
+        assert query.select == (Star(table="country"),)
+
+    def test_count_star(self):
+        query = parse_sql("SELECT count(*) FROM country")
+        agg = query.select[0]
+        assert isinstance(agg, AggExpr)
+        assert agg.func == "count"
+        assert isinstance(agg.arg, Star)
+
+    def test_agg_distinct(self):
+        query = parse_sql("SELECT count(DISTINCT continent) FROM country")
+        assert query.select[0].distinct
+
+
+class TestAliases:
+    def test_as_alias_resolution(self):
+        query = parse_sql(
+            "SELECT T1.name FROM country AS T1 WHERE T1.population > 5"
+        )
+        assert query.select[0] == ColumnRef(column="name", table="country")
+        predicate = query.where.predicates[0]
+        assert predicate.left.table == "country"
+
+    def test_bare_alias_resolution(self):
+        query = parse_sql("SELECT c.name FROM country c")
+        assert query.select[0].table == "country"
+
+    def test_join_with_aliases(self):
+        query = parse_sql(
+            "SELECT T2.language FROM country AS T1 JOIN countrylanguage AS T2 "
+            "ON T1.code = T2.countrycode"
+        )
+        assert query.from_.tables == ("country", "countrylanguage")
+        join = query.from_.joins[0]
+        assert join.left == ColumnRef(column="code", table="country")
+
+
+class TestWhere:
+    def test_comparison_operators(self):
+        for op in ("=", "!=", "<", ">", "<=", ">="):
+            query = parse_sql(f"SELECT a FROM t WHERE b {op} 3")
+            assert query.where.predicates[0].op == op
+
+    def test_string_value(self):
+        query = parse_sql("SELECT a FROM t WHERE b = 'cat'")
+        assert query.where.predicates[0].right == Literal("cat")
+
+    def test_and_or_connectors(self):
+        query = parse_sql("SELECT a FROM t WHERE b = 1 AND c = 2 OR d = 3")
+        assert query.where.connectors == ("and", "or")
+        assert len(query.where.predicates) == 3
+
+    def test_like(self):
+        query = parse_sql("SELECT a FROM t WHERE b LIKE '%x%'")
+        assert query.where.predicates[0].op == "like"
+
+    def test_not_like(self):
+        query = parse_sql("SELECT a FROM t WHERE b NOT LIKE '%x%'")
+        assert query.where.predicates[0].negated
+
+    def test_between(self):
+        query = parse_sql("SELECT a FROM t WHERE b BETWEEN 1 AND 5")
+        predicate = query.where.predicates[0]
+        assert predicate.op == "between"
+        assert predicate.right == Literal(1)
+        assert predicate.right2 == Literal(5)
+
+    def test_in_literal_list(self):
+        query = parse_sql("SELECT a FROM t WHERE b IN ('x', 'y')")
+        predicate = query.where.predicates[0]
+        assert predicate.op == "in"
+        assert predicate.right == (Literal("x"), Literal("y"))
+
+    def test_negative_number(self):
+        query = parse_sql("SELECT a FROM t WHERE b > -5")
+        assert query.where.predicates[0].right == Literal(-5)
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        query = parse_sql(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)"
+        )
+        predicate = query.where.predicates[0]
+        assert predicate.has_subquery
+        assert isinstance(predicate.right, SelectQuery)
+
+    def test_not_in_subquery(self):
+        query = parse_sql("SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)")
+        assert query.where.predicates[0].negated
+
+    def test_scalar_subquery(self):
+        query = parse_sql(
+            "SELECT a FROM t WHERE b > (SELECT avg(b) FROM t)"
+        )
+        predicate = query.where.predicates[0]
+        assert predicate.op == ">"
+        assert isinstance(predicate.right, SelectQuery)
+
+    def test_from_subquery(self):
+        query = parse_sql(
+            "SELECT count(*) FROM (SELECT a FROM t GROUP BY a HAVING count(*) > 2)"
+        )
+        assert query.from_.subquery is not None
+        assert query.from_.subquery.having is not None
+
+
+class TestClauses:
+    def test_group_by_having(self):
+        query = parse_sql(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) >= 2"
+        )
+        assert query.group_by == (ColumnRef(column="a"),)
+        assert query.having.predicates[0].op == ">="
+
+    def test_order_by_desc_limit(self):
+        query = parse_sql("SELECT a FROM t ORDER BY b DESC LIMIT 3")
+        assert query.order_by[0].desc
+        assert query.limit == 3
+
+    def test_order_by_asc_default(self):
+        query = parse_sql("SELECT a FROM t ORDER BY b")
+        assert not query.order_by[0].desc
+
+    def test_order_by_aggregate(self):
+        query = parse_sql(
+            "SELECT a FROM t GROUP BY a ORDER BY count(*) DESC LIMIT 1"
+        )
+        assert isinstance(query.order_by[0].expr, AggExpr)
+
+
+class TestSetOps:
+    @pytest.mark.parametrize("op", ["UNION", "INTERSECT", "EXCEPT"])
+    def test_set_operations(self, op):
+        query = parse_sql(
+            f"SELECT a FROM t {op} SELECT a FROM t WHERE b = 1"
+        )
+        assert isinstance(query, SetQuery)
+        assert query.op == op.lower()
+
+    def test_paper_except_example(self):
+        query = parse_sql(
+            "SELECT countrycode FROM CountryLanguage EXCEPT "
+            "SELECT countrycode FROM CountryLanguage WHERE language = 'English'"
+        )
+        assert isinstance(query, SetQuery)
+        assert query.right.where is not None
+
+
+class TestErrors:
+    def test_empty_select_list(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT FROM t")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT a WHERE b = 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT a FROM t extra tokens")
+
+    def test_bad_limit(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT a FROM t LIMIT x")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("SELECT count( FROM t")

@@ -1,0 +1,92 @@
+"""Printer tests, including the parse/print round-trip property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.domains import SPIDER_DOMAINS, build_domain
+from repro.data.generator import QuerySampler
+from repro.sqlkit.compare import exact_match
+from repro.sqlkit.normalize import normalize
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.printer import to_sql
+
+
+class TestRendering:
+    def test_simple(self):
+        assert (
+            to_sql(parse_sql("select name from country"))
+            == "SELECT name FROM country"
+        )
+
+    def test_where_string(self):
+        sql = to_sql(parse_sql("select a from t where b = 'cat'"))
+        assert sql == "SELECT a FROM t WHERE b = 'cat'"
+
+    def test_string_escaping(self):
+        sql = to_sql(parse_sql("select a from t where b = 'O''Brien'"))
+        assert "O''Brien" in sql
+
+    def test_join_with_condition(self):
+        sql = to_sql(
+            parse_sql(
+                "select a from t join u on t.id = u.tid where u.x = 1"
+            )
+        )
+        assert "JOIN u ON t.id = u.tid" in sql
+
+    def test_between(self):
+        sql = to_sql(parse_sql("select a from t where b between 1 and 2"))
+        assert "BETWEEN 1 AND 2" in sql
+
+    def test_not_in_subquery(self):
+        sql = to_sql(
+            parse_sql("select a from t where b not in (select c from u)")
+        )
+        assert "NOT IN (SELECT c FROM u)" in sql
+
+    def test_order_limit(self):
+        sql = to_sql(parse_sql("select a from t order by b desc limit 2"))
+        assert sql.endswith("ORDER BY b DESC LIMIT 2")
+
+    def test_set_op(self):
+        sql = to_sql(parse_sql("select a from t union select a from u"))
+        assert " UNION " in sql
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT name FROM country",
+        "SELECT DISTINCT a, b FROM t",
+        "SELECT count(*) FROM t WHERE a = 'x' AND b > 3",
+        "SELECT a FROM t JOIN u ON t.id = u.tid WHERE u.b != 'y'",
+        "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2",
+        "SELECT a FROM t ORDER BY b DESC LIMIT 1",
+        "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = 1)",
+        "SELECT a FROM t WHERE b > (SELECT avg(b) FROM t)",
+        "SELECT a FROM t EXCEPT SELECT a FROM t WHERE b = 'x'",
+        "SELECT count(*) FROM (SELECT a FROM t GROUP BY a HAVING count(*) > 1)",
+        "SELECT a FROM t WHERE b BETWEEN 1 AND 2 OR c LIKE '%x%'",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_fixed_point(self, sql):
+        query = parse_sql(sql)
+        printed = to_sql(query)
+        reparsed = parse_sql(printed)
+        assert normalize(reparsed) == normalize(query)
+        assert to_sql(reparsed) == printed
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_queries_round_trip(self, seed):
+        """Property: every generator-produced query survives print->parse."""
+        domain = sorted(SPIDER_DOMAINS)[seed % len(SPIDER_DOMAINS)]
+        db = build_domain(SPIDER_DOMAINS[domain], seed=5)
+        sampler = QuerySampler(db, np.random.default_rng(seed))
+        query = sampler.sample()
+        printed = to_sql(query)
+        reparsed = parse_sql(printed)
+        assert exact_match(reparsed, query)
+        assert to_sql(reparsed) == printed

@@ -1,0 +1,103 @@
+"""Rule-based SQL-to-NL template tests (Table 2)."""
+
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.sql2nl import (
+    IdentifierVocabulary,
+    describe_expr,
+    describe_predicate,
+    describe_query,
+    describe_unit,
+    unit_phrases,
+)
+from repro.sqlkit.units import decompose
+
+
+def phrases(sql: str) -> list[str]:
+    return unit_phrases(parse_sql(sql))
+
+
+class TestExpressions:
+    def test_column_prettified(self):
+        query = parse_sql("SELECT pet_age FROM pets")
+        assert describe_expr(query.select[0]) == "pet age"
+
+    def test_count_star(self):
+        query = parse_sql("SELECT count(*) FROM t")
+        assert describe_expr(query.select[0]) == "the number of records"
+
+    def test_aggregates(self):
+        query = parse_sql("SELECT avg(age), max(bonus) FROM t")
+        assert describe_expr(query.select[0]) == "the average age"
+        assert describe_expr(query.select[1]) == "the maximum bonus"
+
+
+class TestPredicates:
+    def test_equality(self):
+        query = parse_sql("SELECT a FROM t WHERE name = 'John'")
+        text = describe_predicate(query.where.predicates[0])
+        assert text == "whose name is John"
+
+    def test_comparison(self):
+        query = parse_sql("SELECT a FROM t WHERE age > 3")
+        assert "greater than 3" in describe_predicate(
+            query.where.predicates[0]
+        )
+
+    def test_negated_in_subquery(self):
+        query = parse_sql(
+            "SELECT a FROM t WHERE id NOT IN (SELECT tid FROM u)"
+        )
+        text = describe_predicate(query.where.predicates[0])
+        assert "not" in text
+
+
+class TestUnits:
+    def test_projection_template(self):
+        first = decompose(parse_sql("SELECT employee_name FROM employee"))[0]
+        assert describe_unit(first) == "find employee name"
+
+    def test_join_template(self):
+        units = decompose(
+            parse_sql("SELECT a FROM employee JOIN evaluation ON id = eid")
+        )
+        join_unit = [u for u in units if u.unit_type.value == "join"][0]
+        assert describe_unit(join_unit) == "the employee with evaluation"
+
+    def test_sort_highest_one(self):
+        units = decompose(
+            parse_sql("SELECT a FROM t ORDER BY bonus DESC LIMIT 1")
+        )
+        assert describe_unit(units[-1]) == "the highest bonus one"
+
+    def test_group_template(self):
+        units = decompose(parse_sql("SELECT a, count(*) FROM t GROUP BY a"))
+        group_unit = [u for u in units if u.unit_type.value == "group"][0]
+        assert describe_unit(group_unit) == "for each a"
+
+
+class TestQueryDescriptions:
+    def test_full_sentence(self):
+        text = describe_query(
+            parse_sql(
+                "SELECT lname FROM student JOIN has_pet ON a = b "
+                "WHERE pet_age = 3"
+            )
+        )
+        assert "find lname" in text
+        assert "whose pet age is 3" in text
+
+    def test_phrase_list_matches_units(self):
+        sql = "SELECT a FROM t WHERE b = 1 ORDER BY c LIMIT 2"
+        assert len(phrases(sql)) == len(decompose(parse_sql(sql)))
+
+    def test_schema_vocabulary_used(self, world_db):
+        schema = world_db.schema
+        text = describe_query(
+            parse_sql("SELECT countrycode FROM countrylanguage"), schema
+        )
+        assert "countrycode" in text or "country" in text
+
+    def test_identifier_vocabulary_fallback(self):
+        vocab = IdentifierVocabulary()
+        assert vocab.table_phrase("car_makers") == "car makers"
+        assert vocab.column_phrase("pet_age") == "pet age"

@@ -1,0 +1,69 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sqlkit.errors import SqlTokenError
+from repro.sqlkit.tokens import IDENT, KW, NUMBER, OP, PUNCT, STRING, Token, tokenize
+
+
+def kinds(sql: str) -> list[str]:
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [t.value for t in tokenize(sql)]
+
+
+class TestTokenize:
+    def test_keywords_are_lowercased(self):
+        tokens = tokenize("SELECT name FROM t")
+        assert tokens[0] == Token(KW, "select", 0)
+        assert tokens[2].value == "from"
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SELECT CountryCode FROM CountryLanguage")
+        assert tokens[1].value == "CountryCode"
+        assert tokens[1].kind == IDENT
+
+    def test_string_literal_content(self):
+        tokens = tokenize("WHERE name = 'New York'")
+        assert tokens[-1].kind == STRING
+        assert tokens[-1].value == "New York"
+
+    def test_double_quoted_string(self):
+        tokens = tokenize('WHERE name = "cat"')
+        assert tokens[-1].value == "cat"
+
+    def test_numbers_integer_and_float(self):
+        tokens = tokenize("LIMIT 5 OFFSET 2.75")
+        numbers = [t for t in tokens if t.kind == NUMBER]
+        assert [t.value for t in numbers] == ["5", "2.75"]
+
+    def test_operators(self):
+        assert values("a <= 1 AND b != 2 AND c <> 3") == [
+            "a", "<=", "1", "and", "b", "!=", "2", "and", "c", "!=", "3",
+        ]
+
+    def test_punctuation_and_star(self):
+        assert kinds("count ( * )") == [KW, PUNCT, PUNCT, PUNCT]
+
+    def test_semicolon_terminates(self):
+        tokens = tokenize("SELECT 1; SELECT 2")
+        assert [t.value for t in tokens] == ["select", "1"]
+
+    def test_qualified_name_tokens(self):
+        assert values("t1.col") == ["t1", ".", "col"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlTokenError) as info:
+            tokenize("SELECT @name")
+        assert info.value.position == 7
+
+    def test_is_kw_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_kw("select", "from")
+        assert not token.is_kw("from")
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []

@@ -1,0 +1,56 @@
+"""SQL unit decomposition tests (Table 2 unit types)."""
+
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.units import UnitType, decompose
+
+
+def types_of(sql: str) -> list[UnitType]:
+    return [u.unit_type for u in decompose(parse_sql(sql))]
+
+
+class TestDecompose:
+    def test_projection_and_join(self):
+        types = types_of("SELECT a, b FROM t")
+        assert types == [UnitType.PROJECTION, UnitType.PROJECTION, UnitType.JOIN]
+
+    def test_predicates(self):
+        types = types_of("SELECT a FROM t WHERE b = 1 AND c = 2")
+        assert types.count(UnitType.PREDICATE) == 2
+
+    def test_group_unit(self):
+        types = types_of("SELECT a, count(*) FROM t GROUP BY a")
+        assert UnitType.GROUP in types
+
+    def test_having_is_predicate(self):
+        types = types_of(
+            "SELECT a FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert UnitType.PREDICATE in types
+
+    def test_sort_unit(self):
+        types = types_of("SELECT a FROM t ORDER BY b DESC LIMIT 1")
+        assert types[-1] is UnitType.SORT
+
+    def test_set_op_right_branch_is_predicate(self):
+        units = decompose(
+            parse_sql("SELECT a FROM t EXCEPT SELECT a FROM t WHERE b = 1")
+        )
+        last = units[-1]
+        assert last.unit_type is UnitType.PREDICATE
+        assert last.payload[1] == "except"
+
+    def test_from_subquery_units_inlined(self):
+        types = types_of(
+            "SELECT count(*) FROM (SELECT a FROM t GROUP BY a)"
+        )
+        assert UnitType.GROUP in types
+
+    def test_unit_counts_scale_with_structure(self):
+        simple = decompose(parse_sql("SELECT a FROM t"))
+        complex_ = decompose(
+            parse_sql(
+                "SELECT a, b FROM t JOIN u ON t.id = u.tid "
+                "WHERE c = 1 GROUP BY a ORDER BY b LIMIT 2"
+            )
+        )
+        assert len(complex_) > len(simple)

@@ -1,0 +1,24 @@
+"""Top-level package API tests."""
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_metasql(self):
+        from repro.core.pipeline import MetaSQL
+
+        assert repro.MetaSQL is MetaSQL
+
+    def test_lazy_metadata(self):
+        from repro.core.metadata import QueryMetadata
+
+        assert repro.QueryMetadata is QueryMetadata
+
+    def test_unknown_attribute(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            repro.nonexistent_attribute

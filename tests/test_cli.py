@@ -1,0 +1,34 @@
+"""CLI entry-point tests (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table4", "table5", "table6", "table7", "table8", "table9",
+            "fig6", "supplementary",
+        }
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_runs_one_experiment(self, capsys):
+        exit_code = main(
+            ["table5", "--scale", "small", "--models", "lgesql",
+             "--limit", "20"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "lgesql+metasql" in out
+
+    def test_supplementary_via_cli(self, capsys):
+        exit_code = main(
+            ["supplementary", "--scale", "small", "--limit", "20"]
+        )
+        assert exit_code == 0
+        assert "value grounding" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Integration tests for the experiment drivers (small scale, one model).
+
+These exercise every table/figure driver end-to-end on the small context;
+the full-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import fig6, table4, table5, table6, table7, table8, table9
+from repro.experiments.common import get_context
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context("small")
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return table4.run(ctx, models=("lgesql",), limit=40)
+
+    def test_rows_present(self, result):
+        assert set(result.rows) == {"lgesql", "lgesql+metasql"}
+
+    def test_science_columns(self, result):
+        assert len(result.rows["lgesql"]["science"]) == 3
+
+    def test_render_contains_paper_reference(self, result):
+        text = result.render()
+        assert "75.1" in text  # paper LGESQL EM
+        assert "lgesql+metasql" in text
+
+    def test_value_grounding_lifts_ex(self, result):
+        assert (
+            result.rows["lgesql+metasql"]["ex"]
+            >= result.rows["lgesql"]["ex"]
+        )
+
+
+class TestTable5:
+    def test_levels_and_overall(self, ctx):
+        result = table5.run(ctx, models=("lgesql",), limit=60)
+        row = result.rows["lgesql"]
+        assert set(row) == {"easy", "medium", "hard", "extra", "overall"}
+        assert row["easy"] >= row["extra"]
+        assert "Table 5" in result.render()
+
+
+class TestTable6:
+    def test_statement_types(self, ctx):
+        result = table6.run(ctx, models=("lgesql",), limit=60)
+        assert set(result.rows["lgesql"]) == {
+            "orderby", "groupby", "nested", "negation",
+        }
+        assert "ORDER BY" in result.render()
+
+
+class TestTable7:
+    def test_precision_monotone(self, ctx):
+        result = table7.run(ctx, models=("lgesql",), limit=60)
+        row = result.rows["lgesql+metasql"]
+        assert row["p1"] <= row["p3"] <= row["p5"]
+        assert row["mrr"] >= row["p1"]
+
+
+class TestTable8:
+    def test_stage_accuracies(self, ctx):
+        result = table8.run(ctx, models=("lgesql",), limit=30)
+        assert 0.0 < result.selection_accuracy <= 1.0
+        row = result.rows["lgesql+metasql"]
+        assert 0.0 <= row["generation"] <= 1.0
+        assert 0.0 <= row["ranking"] <= 1.0
+
+
+class TestTable9:
+    def test_ablation_shapes(self, ctx):
+        result = table9.run(ctx, limit=50)
+        assert set(result.rows) == {
+            "full",
+            "w/o multi-label classifier",
+            "w/o phrase-level supervision",
+            "w/o second-stage ranking",
+        }
+        full = result.rows["full"]
+        no_stage2 = result.rows["w/o second-stage ranking"]
+        assert no_stage2["ranking_miss"] >= full["ranking_miss"]
+        assert no_stage2["em"] <= full["em"]
+        for row in result.rows.values():
+            total = (
+                row["generation_miss"]
+                + row["ranking_miss"]
+                + round(row["em"] * result.total)
+            )
+            assert total == result.total
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig6.run(ctx, limit=30, thresholds=(0.0, -40.0))
+
+    def test_threshold_sweep_keys(self, result):
+        assert set(result.threshold_sweep) == {0.0, -40.0}
+
+    def test_correctness_variants(self, result):
+        assert set(result.correctness) == {"correct", "incorrect", "none"}
+        assert (
+            result.correctness["correct"]
+            >= result.correctness["incorrect"] - 0.05
+        )
+
+    def test_hardness_variants(self, result):
+        assert "oracle" in result.hardness
+        assert "fixed:100" in result.hardness
+
+    def test_tag_variants(self, result):
+        assert result.tags["oracle"] >= result.tags["random"] - 0.05
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig 6a" in text and "Fig 6d" in text

@@ -1,0 +1,81 @@
+"""Cross-module property-based tests on generated queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata import TAG_VOCABULARY, extract_metadata
+from repro.data.domains import SPIDER_DOMAINS, build_domain
+from repro.data.generator import QuerySampler
+from repro.data.nl import QuestionRenderer
+from repro.eval.metrics import execution_match
+from repro.models.seq2seq import estimate_rating
+from repro.models.sketch import extract_sketch
+from repro.sqlkit.hardness import hardness_rating
+from repro.sqlkit.sql2nl import describe_query, unit_phrases
+from repro.sqlkit.units import decompose
+
+DOMAINS = sorted(SPIDER_DOMAINS)
+
+
+def sample_query(seed: int):
+    domain = DOMAINS[seed % len(DOMAINS)]
+    db = build_domain(SPIDER_DOMAINS[domain], seed=7)
+    sampler = QuerySampler(db, np.random.default_rng(seed))
+    return db, sampler.sample()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_metadata_tags_within_vocabulary(seed):
+    __, query = sample_query(seed)
+    metadata = extract_metadata(query)
+    assert metadata.tags <= set(TAG_VOCABULARY)
+    assert "project" in metadata.tags
+    assert metadata.rating >= 100
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_every_query_describable(seed):
+    db, query = sample_query(seed)
+    description = describe_query(query, db.schema)
+    assert description
+    phrases = unit_phrases(query, db.schema)
+    assert len(phrases) == len(decompose(query))
+    assert all(p for p in phrases)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_execution_match_reflexive(seed):
+    db, query = sample_query(seed)
+    assert execution_match(query, query, db)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_sketch_rating_estimate_tracks_true_rating(seed):
+    __, query = sample_query(seed)
+    estimate = estimate_rating(extract_sketch(query))
+    true = hardness_rating(query)
+    assert abs(estimate - true) <= 300
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_question_rendering_deterministic(seed):
+    db, query = sample_query(seed)
+    a = QuestionRenderer(db.schema, np.random.default_rng(seed)).render(query)
+    b = QuestionRenderer(db.schema, np.random.default_rng(seed)).render(query)
+    assert a == b
+    assert len(a) > 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_operator_tags_match_metadata_extraction(seed):
+    """Sketch-derived tags and metadata tags are the same thing."""
+    __, query = sample_query(seed)
+    assert extract_sketch(query).operator_tags() == extract_metadata(query).tags

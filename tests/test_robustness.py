@@ -1,0 +1,113 @@
+"""Failure-injection and robustness tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.metadata import QueryMetadata
+from repro.core.values import ground_values
+from repro.schema.database import Database
+from repro.schema.executor import execute
+from repro.schema.schema import NUMBER, Column, Schema, Table
+from repro.sqlkit.errors import SqlError, SqlExecutionError
+from repro.sqlkit.parser import parse_sql
+
+
+@pytest.fixture()
+def empty_db():
+    schema = Schema(
+        db_id="empty",
+        tables=(Table("t", (Column("a"), Column("n", NUMBER))),),
+    )
+    return Database(schema)
+
+
+class TestExecutorRobustness:
+    def test_empty_table_queries(self, empty_db):
+        assert execute(parse_sql("SELECT a FROM t"), empty_db) == []
+        assert execute(parse_sql("SELECT count(*) FROM t"), empty_db) == [(0,)]
+        assert execute(
+            parse_sql("SELECT a FROM t ORDER BY n DESC LIMIT 3"), empty_db
+        ) == []
+
+    def test_unknown_column_raises_sql_error(self, world_db):
+        with pytest.raises(SqlError):
+            execute(parse_sql("SELECT bogus FROM country"), world_db)
+
+    def test_unknown_table_raises_sql_error(self, world_db):
+        with pytest.raises(SqlError):
+            execute(parse_sql("SELECT a FROM bogus"), world_db)
+
+    def test_aggregate_without_group_context(self, world_db):
+        # HAVING-style aggregate in WHERE is invalid: surfaced as SqlError.
+        with pytest.raises(SqlError):
+            execute(
+                parse_sql("SELECT name FROM country WHERE count(*) > 1"),
+                world_db,
+            )
+
+    def test_division_by_zero_yields_null(self, world_db):
+        rows = execute(
+            parse_sql("SELECT population / 0 FROM country LIMIT 1"), world_db
+        )
+        assert rows == [(None,)]
+
+    def test_mixed_type_comparison_does_not_crash(self, world_db):
+        rows = execute(
+            parse_sql("SELECT name FROM country WHERE population > 'abc'"),
+            world_db,
+        )
+        assert rows == []
+
+
+class TestModelRobustness:
+    def test_gibberish_question_still_decodes(
+        self, fitted_lgesql, tiny_benchmark
+    ):
+        db = tiny_benchmark.dev.database("pets")
+        candidates = fitted_lgesql.translate("qwxz blorp 77 zzz", db)
+        assert isinstance(candidates, list)
+
+    def test_empty_question(self, fitted_lgesql, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        candidates = fitted_lgesql.translate("", db)
+        assert isinstance(candidates, list)
+
+    def test_unknown_metadata_tags_relaxed(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        """A metadata condition whose tag-set was never observed should not
+        crash decoding — the model relaxes to soft-tag matching."""
+        db = tiny_benchmark.dev.database("pets")
+        weird = QueryMetadata(
+            tags=frozenset({"project", "union", "group", "having"}),
+            rating=950,
+        )
+        candidates = trained_pipeline.model.translate(
+            "students per major", db, metadata=weird
+        )
+        assert isinstance(candidates, list)
+
+    def test_pipeline_on_gibberish(self, trained_pipeline, tiny_benchmark):
+        db = tiny_benchmark.dev.database("pets")
+        ranked = trained_pipeline.translate_ranked("zz qq pp 3", db)
+        assert isinstance(ranked, list)
+
+
+class TestGroundingRobustness:
+    def test_grounding_idempotent(self, world_db):
+        query = parse_sql(
+            "SELECT name FROM country WHERE continent = 'value'"
+        )
+        question = "countries in Asia"
+        once = ground_values(query, question, world_db)
+        twice = ground_values(once, question, world_db)
+        assert once == twice
+
+    def test_grounding_without_any_evidence(self, world_db):
+        query = parse_sql(
+            "SELECT name FROM country WHERE population > 'value'"
+        )
+        grounded = ground_values(query, "no numbers here", world_db)
+        # Placeholder survives; executing it just returns no rows.
+        rows = execute(grounded, world_db)
+        assert rows == []
