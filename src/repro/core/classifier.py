@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.metadata import TAG_VOCABULARY, extract_metadata
+from repro.core.resilience import fire
 from repro.data.dataset import Dataset
 from repro.models.cues import CueEvidence, extract_cues
 from repro.nn.autograd import Tensor
@@ -189,6 +190,7 @@ class MetadataClassifier:
         Ratings are sorted by logit, best first; at least one rating is
         always returned (the argmax) so composition never starves.
         """
+        fire("classifier.predict")
         logits = self.logits(question, db)
         tags = {
             label

@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.metadata import CORRECT, QueryMetadata, extract_metadata
+from repro.core.resilience import fire
 from repro.data.dataset import Dataset
 
 
@@ -60,6 +61,7 @@ class MetadataComposer:
         predicted rating.  Results are ordered by (a) how much of the
         predicted tag evidence they use and (b) training frequency.
         """
+        fire("compose")
         predicted = frozenset(tags) | {"project"}
         candidates: list[tuple[float, QueryMetadata]] = []
         for (combo_tags, combo_rating), frequency in self._combos.items():

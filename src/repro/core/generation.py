@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.metadata import QueryMetadata
+from repro.core.resilience import TranslationReport, fire
 from repro.core.values import ground_values
 from repro.models.base import Candidate, TranslationModel
 from repro.schema.database import Database
@@ -52,8 +53,16 @@ class CandidateGenerator:
         question: str,
         db: Database,
         compositions: list[QueryMetadata],
+        report: TranslationReport | None = None,
     ) -> list[GeneratedCandidate]:
-        """Candidate set for *question* under the given compositions."""
+        """Candidate set for *question* under the given compositions.
+
+        Faults are isolated per unit of work: a metadata condition whose
+        decode raises is skipped (its beam is lost, the rest survive), and
+        a single candidate whose value grounding or rendering raises is
+        dropped.  Each isolation is recorded in *report* when one is given.
+        """
+        fire("generator.generate")
         config = self.config
         collected: list[GeneratedCandidate] = []
         seen: set[str] = set()
@@ -72,23 +81,54 @@ class CandidateGenerator:
                 )
             )
 
-        for metadata in compositions:
-            beam = self.model.translate(
-                question,
-                db,
-                metadata=metadata,
-                beam_size=config.beam_per_condition,
-            )
-            for candidate in beam:
+        def add_isolated(
+            candidate: Candidate, metadata: QueryMetadata | None
+        ) -> None:
+            try:
                 add(candidate, metadata)
+            except Exception as exc:  # noqa: BLE001 — candidate isolation
+                if report is not None:
+                    report.record_exception(
+                        "ground",
+                        exc,
+                        candidate=len(collected),
+                        fallback="skip",
+                    )
+
+        for condition_index, metadata in enumerate(compositions):
+            try:
+                beam = self.model.translate(
+                    question,
+                    db,
+                    metadata=metadata,
+                    beam_size=config.beam_per_condition,
+                )
+            except Exception as exc:  # noqa: BLE001 — condition isolation
+                if report is not None:
+                    report.record_exception(
+                        "generate",
+                        exc,
+                        candidate=condition_index,
+                        fallback="skip",
+                    )
+                continue
+            for candidate in beam:
+                add_isolated(candidate, metadata)
             if len(collected) >= config.max_candidates:
                 break
 
         if config.include_unconditioned and len(collected) < config.max_candidates:
-            beam = self.model.translate(
-                question, db, beam_size=config.unconditioned_beam
-            )
+            try:
+                beam = self.model.translate(
+                    question, db, beam_size=config.unconditioned_beam
+                )
+            except Exception as exc:  # noqa: BLE001 — condition isolation
+                beam = []
+                if report is not None:
+                    report.record_exception(
+                        "generate", exc, candidate=None, fallback="skip"
+                    )
             for candidate in beam:
-                add(candidate, None)
+                add_isolated(candidate, None)
 
         return collected[: config.max_candidates]

@@ -15,11 +15,19 @@ Ablation flags reproduce Table 9: ``use_classifier=False`` conditions on
 *all* observed compositions; ``use_stage2=False`` stops after the
 first-stage ranker; ``phrase_supervision=False`` removes the fine-grained
 losses from stage-2 training.
+
+Every inference stage is wrapped by the resilience layer
+(:mod:`repro.core.resilience`): a failing candidate is recorded and
+skipped, a failing stage degrades to the previous stage's ordering
+(stage-2 -> stage-1 -> generation order, classifier -> observed
+compositions) under the configured :class:`DegradationPolicy`, and the
+:class:`TranslationReport` attached to the output says exactly what was
+absorbed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -43,11 +51,18 @@ from repro.core.rank_stage2 import (
     RankingList,
     Stage2Config,
 )
+from repro.core.resilience import (
+    DegradationPolicy,
+    FaultRecord,
+    TranslationReport,
+    guarded_call,
+)
 from repro.core.similarity import similarity_score, similarity_unit
 from repro.data.dataset import Dataset
 from repro.models.base import TranslationModel
 from repro.schema.database import Database
 from repro.sqlkit.ast import Query
+from repro.sqlkit.errors import PipelineStateError
 from repro.sqlkit.printer import to_sql
 from repro.sqlkit.sql2nl import unit_phrases
 
@@ -68,6 +83,7 @@ class MetaSQLConfig:
     classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
     stage1: Stage1Config = field(default_factory=Stage1Config)
     stage2: Stage2Config = field(default_factory=Stage2Config)
+    resilience: DegradationPolicy = field(default_factory=DegradationPolicy)
     seed: int = 20240501
 
 
@@ -85,8 +101,34 @@ class RankedTranslation:
         return to_sql(self.query)
 
 
+@dataclass
+class RankedResult:
+    """Ranked translations plus the resilience report for one question."""
+
+    translations: list[RankedTranslation]
+    report: TranslationReport
+
+    def __iter__(self):
+        return iter(self.translations)
+
+    def __len__(self) -> int:
+        return len(self.translations)
+
+    @property
+    def degraded(self) -> bool:
+        return self.report.degraded
+
+
 class MetaSQL:
     """Generate-then-rank framework around a base translation model."""
+
+    # Class-level defaults so pipeline *views* built around ``__new__``
+    # (e.g. experiments cloning a trained pipeline with one component
+    # swapped) inherit sane stage-health state without running __init__.
+    _classifier_ok = True
+    _stage1_ok = True
+    _stage2_ok = True
+    last_report: TranslationReport | None = None
 
     def __init__(
         self,
@@ -95,31 +137,65 @@ class MetaSQL:
     ) -> None:
         self.model = model
         self.config = config or MetaSQLConfig()
-        self.config.stage2.phrase_supervision = self.config.phrase_supervision
+        # Copy the stage-2 sub-config before applying the pipeline-level
+        # ablation flag: mutating config.stage2 in place would clobber a
+        # Stage2Config (or MetaSQLConfig) shared with another pipeline.
+        stage2_config = replace(
+            self.config.stage2,
+            phrase_supervision=self.config.phrase_supervision,
+        )
         self.classifier = MetadataClassifier(self.config.classifier)
         self.composer = MetadataComposer(self.config.composer)
         self.generator = CandidateGenerator(model, self.config.generator)
         self.stage1 = DualTowerRanker(self.config.stage1)
-        self.stage2 = MultiGrainedRanker(self.config.stage2)
+        self.stage2 = MultiGrainedRanker(stage2_config)
         self._trained = False
+        # "Not known broken": a restored pipeline (persist.load_pipeline)
+        # keeps these True; a guarded training failure flips them so
+        # inference degrades instead of raising.
+        self._classifier_ok = True
+        self._stage1_ok = True
+        self._stage2_ok = True
+        self.training_report = TranslationReport(question="<training>")
+        self.last_report: TranslationReport | None = None
 
     # ------------------------------------------------------------------
     # Training.
 
     def train(self, train: Dataset, fit_base_model: bool = True) -> "MetaSQL":
-        """Train every stage of the pipeline on *train*."""
+        """Train every stage of the pipeline on *train*.
+
+        The base model and the composition index are load-bearing (without
+        them there is nothing to rank) so their failures propagate; the
+        classifier and both rankers train under the degradation policy —
+        a guarded failure is recorded in ``training_report`` and the
+        corresponding stage degrades at inference instead of raising.
+        """
+        policy = self.config.resilience
+        self.training_report = TranslationReport(question="<training>")
         if fit_base_model:
             # Metadata-augmented supervised training (Seq2seq models);
             # LLM sims index demonstrations instead and always honour
             # prompt metadata.
             self.model.fit(train, with_metadata=True)
-        self.classifier.fit(train)
+        if policy.classifier_fallback:
+            self._classifier_ok, __ = guarded_call(
+                "train.classify",
+                lambda: self.classifier.fit(train),
+                policy,
+                self.training_report,
+                fallback="all-compositions",
+            )
+        else:
+            self.classifier.fit(train)
         self.composer.fit(train)
         self._fit_rankers(train)
         self._trained = True
         return self
 
     def _fit_rankers(self, train: Dataset) -> None:
+        policy = self.config.resilience
+        report = self.training_report
         rng = np.random.default_rng(self.config.seed)
         count = min(self.config.ranker_train_questions, len(train.examples))
         indices = rng.permutation(len(train.examples))[:count]
@@ -128,51 +204,18 @@ class MetaSQL:
         lists: list[RankingList] = []
         for raw_index in indices:
             example = train.examples[int(raw_index)]
-            db = train.database(example.db_id)
-            schema = db.schema
-            compositions = self._compositions_for(example.question, db)
-            candidates = self.generator.generate(
-                example.question, db, compositions
-            )
-            items: list[ListItem] = []
-            seen_gold = False
-            for candidate in candidates:
-                unit_target = similarity_unit(candidate.query, example.sql)
-                target10 = similarity_score(candidate.query, example.sql)
-                if target10 >= 9.99:
-                    seen_gold = True
-                surface = sql_surface(candidate.query, schema)
-                triples.append(
-                    RankingTriple(
-                        question=example.question,
-                        sql_text=surface,
-                        target=unit_target,
-                    )
+            try:
+                example_triples, items = self._ranker_supervision(
+                    example, train, report
                 )
-                items.append(
-                    ListItem(
-                        surface=surface,
-                        phrases=tuple(unit_phrases(candidate.query, schema)),
-                        target=target10,
-                    )
+            except Exception as exc:  # noqa: BLE001 — example isolation
+                if not policy.isolate_candidates:
+                    raise
+                report.record_exception(
+                    "train", exc, candidate=int(raw_index), fallback="skip"
                 )
-            if not seen_gold:
-                # Positive sample from the benchmark itself (Section III-C1).
-                surface = sql_surface(example.sql, schema)
-                triples.append(
-                    RankingTriple(
-                        question=example.question,
-                        sql_text=surface,
-                        target=1.0,
-                    )
-                )
-                items.append(
-                    ListItem(
-                        surface=surface,
-                        phrases=tuple(unit_phrases(example.sql, schema)),
-                        target=10.0,
-                    )
-                )
+                continue
+            triples.extend(example_triples)
             if len(items) >= 2:
                 ordered = tuple(
                     sorted(items, key=lambda item: -item.target)[
@@ -182,10 +225,102 @@ class MetaSQL:
                 lists.append(
                     RankingList(question=example.question, items=ordered)
                 )
-        triples.extend(self._negative_triples(train))
-        self.stage1.fit(triples)
+        ok, negatives = guarded_call(
+            "train.negatives",
+            lambda: self._negative_triples(train),
+            policy,
+            report,
+            fallback="skip",
+        )
+        if ok:
+            triples.extend(negatives)
+        if policy.stage1_fallback:
+            self._stage1_ok, __ = guarded_call(
+                "train.stage1",
+                lambda: self.stage1.fit(triples),
+                policy,
+                report,
+                fallback="generation-order",
+            )
+        else:
+            self.stage1.fit(triples)
         if self.config.use_stage2:
-            self.stage2.fit(lists)
+            if policy.stage2_fallback:
+                self._stage2_ok, __ = guarded_call(
+                    "train.stage2",
+                    lambda: self.stage2.fit(lists),
+                    policy,
+                    report,
+                    fallback="stage1-order",
+                )
+            else:
+                self.stage2.fit(lists)
+
+    def _ranker_supervision(
+        self,
+        example,
+        train: Dataset,
+        report: TranslationReport,
+    ) -> tuple[list[RankingTriple], list[ListItem]]:
+        """Supervision triples/list items for one training example.
+
+        Candidates whose similarity/surface computation raises are
+        recorded and skipped; the example's remaining candidates (plus the
+        gold positive) still supervise the rankers.
+        """
+        policy = self.config.resilience
+        db = train.database(example.db_id)
+        schema = db.schema
+        compositions = self._compositions_for(example.question, db)
+        candidates = self.generator.generate(
+            example.question, db, compositions, report=report
+        )
+        triples: list[RankingTriple] = []
+        items: list[ListItem] = []
+        seen_gold = False
+        for index, candidate in enumerate(candidates):
+            try:
+                unit_target = similarity_unit(candidate.query, example.sql)
+                target10 = similarity_score(candidate.query, example.sql)
+                surface = sql_surface(candidate.query, schema)
+                phrases = tuple(unit_phrases(candidate.query, schema))
+            except Exception as exc:  # noqa: BLE001 — candidate isolation
+                if not policy.isolate_candidates:
+                    raise
+                report.record_exception(
+                    "train", exc, candidate=index, fallback="skip"
+                )
+                continue
+            if target10 >= 9.99:
+                seen_gold = True
+            triples.append(
+                RankingTriple(
+                    question=example.question,
+                    sql_text=surface,
+                    target=unit_target,
+                )
+            )
+            items.append(
+                ListItem(surface=surface, phrases=phrases, target=target10)
+            )
+        if not seen_gold:
+            # Positive sample from the benchmark itself (Section III-C1).
+            surface = sql_surface(example.sql, schema)
+            triples.append(
+                RankingTriple(
+                    question=example.question,
+                    sql_text=surface,
+                    target=1.0,
+                )
+            )
+            items.append(
+                ListItem(
+                    surface=surface,
+                    phrases=tuple(unit_phrases(example.sql, schema)),
+                    target=10.0,
+                )
+            )
+        return triples, items
 
     def _negative_triples(self, train: Dataset) -> list[RankingTriple]:
         """Extra stage-1 negatives from incorrect-conditioned decoding.
@@ -222,7 +357,7 @@ class MetaSQL:
     def _compositions_for(
         self, question: str, db: Database
     ) -> list[QueryMetadata]:
-        if not self.config.use_classifier:
+        if not self.config.use_classifier or not self._classifier_ok:
             return self.composer.all_compositions(
                 limit=self.config.composer.max_compositions * 3
             )
@@ -234,16 +369,268 @@ class MetaSQL:
             compositions = self.composer.all_compositions(limit=4)
         return compositions
 
+    def _compositions_guarded(
+        self,
+        question: str,
+        db: Database,
+        policy: DegradationPolicy,
+        report: TranslationReport,
+    ) -> list[QueryMetadata]:
+        """The degradation-aware composition chain.
+
+        classifier failure -> observed compositions; composition failure
+        -> observed compositions; observed-composition failure -> empty
+        (the generator still decodes its unconditioned beam).
+        """
+
+        def all_observed() -> list[QueryMetadata]:
+            return self.composer.all_compositions(
+                limit=self.config.composer.max_compositions * 3
+            )
+
+        if self.config.use_classifier and self._classifier_ok:
+            ok, predicted = guarded_call(
+                "classify",
+                lambda: self.classifier.predict(
+                    question,
+                    db,
+                    threshold=self.config.classification_threshold,
+                ),
+                policy,
+                report,
+                fallback="all-compositions",
+                site="classifier.predict",
+            )
+            if ok:
+                tags, ratings = predicted
+                ok, compositions = guarded_call(
+                    "compose",
+                    lambda: self.composer.compose(tags, ratings),
+                    policy,
+                    report,
+                    fallback="all-compositions",
+                    site="compose",
+                )
+                if ok:
+                    if compositions:
+                        return compositions
+                    return self.composer.all_compositions(limit=4)
+            if not policy.classifier_fallback:
+                return []
+        elif self.config.use_classifier and not self._classifier_ok:
+            report.record(
+                FaultRecord(
+                    stage="classify",
+                    error_type="StageError",
+                    error="classifier unavailable (training failed)",
+                    fallback="all-compositions",
+                )
+            )
+        ok, compositions = guarded_call(
+            "compose",
+            lambda: all_observed(),
+            policy,
+            report,
+            fallback="unconditioned",
+        )
+        return compositions if ok else []
+
     def candidates(
         self,
         question: str,
         db: Database,
         compositions: list[QueryMetadata] | None = None,
+        report: TranslationReport | None = None,
     ) -> list[GeneratedCandidate]:
         """The metadata-conditioned candidate set for *question*."""
+        if not self._trained:
+            raise PipelineStateError(
+                "MetaSQL pipeline is not trained; call train() or "
+                "load_pipeline() before requesting candidates"
+            )
         if compositions is None:
             compositions = self._compositions_for(question, db)
-        return self.generator.generate(question, db, compositions)
+        return self.generator.generate(
+            question, db, compositions, report=report
+        )
+
+    def translate_ranked_report(
+        self,
+        question: str,
+        db: Database,
+        compositions: list[QueryMetadata] | None = None,
+    ) -> RankedResult:
+        """Two-stage ranking with fault isolation and a resilience report.
+
+        Never raises for stage or candidate failures: each one is either
+        retried (transient), isolated (per candidate), or absorbed by the
+        degradation chain, and shows up as a :class:`FaultRecord` in the
+        returned report.  Only lifecycle misuse (untrained pipeline)
+        raises.
+        """
+        if not self._trained:
+            raise PipelineStateError(
+                "MetaSQL pipeline is not trained; call train() or "
+                "load_pipeline() before translating"
+            )
+        policy = self.config.resilience
+        report = TranslationReport(question=question)
+        self.last_report = report
+        if compositions is None:
+            compositions = self._compositions_guarded(
+                question, db, policy, report
+            )
+        ok, generated = guarded_call(
+            "generate",
+            lambda: self.generator.generate(
+                question, db, compositions, report=report
+            ),
+            policy,
+            report,
+            fallback="empty",
+            site="generator.generate",
+        )
+        if not ok or not generated:
+            return RankedResult([], report)
+
+        schema = db.schema
+        surfaces: list[str] = []
+        kept: list[GeneratedCandidate] = []
+        for index, candidate in enumerate(generated):
+            try:
+                surface = sql_surface(candidate.query, schema)
+            except Exception as exc:  # noqa: BLE001 — candidate isolation
+                if not policy.isolate_candidates:
+                    raise
+                report.record_exception(
+                    "surface", exc, candidate=index, fallback="skip"
+                )
+                continue
+            surfaces.append(surface)
+            kept.append(candidate)
+        if not kept:
+            return RankedResult([], report)
+        generated = kept
+
+        pruned = self._stage1_pruned(question, surfaces, policy, report)
+        if pruned is None:
+            if not policy.stage1_fallback:
+                return RankedResult([], report)
+            # Generation order: the base model's own beam scores.
+            order = sorted(
+                range(len(generated)), key=lambda i: -generated[i].score
+            )
+            pruned = [
+                (i, generated[i].score)
+                for i in order[: self.config.first_stage_top]
+            ]
+
+        ranked = self._stage2_ranked(
+            question, generated, surfaces, pruned, schema, policy, report
+        )
+        return RankedResult(ranked, report)
+
+    def _stage1_pruned(
+        self,
+        question: str,
+        surfaces: list[str],
+        policy: DegradationPolicy,
+        report: TranslationReport,
+    ) -> list[tuple[int, float]] | None:
+        """Stage-1 pruning, or None when it failed/was unavailable."""
+        if not self._stage1_ok:
+            report.record(
+                FaultRecord(
+                    stage="stage1",
+                    error_type="StageError",
+                    error="stage-1 ranker unavailable (training failed)",
+                    fallback="generation-order",
+                )
+            )
+            return None
+        ok, pruned = guarded_call(
+            "stage1",
+            lambda: self.stage1.rank(
+                question, surfaces, top_k=self.config.first_stage_top
+            ),
+            policy,
+            report,
+            fallback="generation-order",
+            site="stage1.rank",
+        )
+        return pruned if ok else None
+
+    def _stage2_ranked(
+        self,
+        question: str,
+        generated: list[GeneratedCandidate],
+        surfaces: list[str],
+        pruned: list[tuple[int, float]],
+        schema,
+        policy: DegradationPolicy,
+        report: TranslationReport,
+    ) -> list[RankedTranslation]:
+        """Stage-2 re-ranking with fallback to the stage-1 ordering."""
+        if self.config.use_stage2 and self._stage2_ok:
+            stage2_input: list[tuple[str, tuple[str, ...]]] = []
+            rows: list[tuple[int, float]] = []
+            for index, stage1_score in pruned:
+                try:
+                    phrases = tuple(
+                        unit_phrases(generated[index].query, schema)
+                    )
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    if not policy.isolate_candidates:
+                        raise
+                    report.record_exception(
+                        "stage2", exc, candidate=index, fallback="skip"
+                    )
+                    continue
+                stage2_input.append((surfaces[index], phrases))
+                rows.append((index, stage1_score))
+            if rows:
+                ok, stage2_ranked = guarded_call(
+                    "stage2",
+                    lambda: self.stage2.rank(question, stage2_input),
+                    policy,
+                    report,
+                    fallback="stage1-order",
+                    site="stage2.rank",
+                )
+                if ok:
+                    ranked = []
+                    for position, score in stage2_ranked:
+                        index, stage1_score = rows[position]
+                        candidate = generated[index]
+                        ranked.append(
+                            RankedTranslation(
+                                query=candidate.query,
+                                stage1_score=stage1_score,
+                                stage2_score=score,
+                                metadata=candidate.metadata,
+                            )
+                        )
+                    return ranked
+                if not policy.stage2_fallback:
+                    return []
+        elif self.config.use_stage2 and not self._stage2_ok:
+            report.record(
+                FaultRecord(
+                    stage="stage2",
+                    error_type="StageError",
+                    error="stage-2 ranker unavailable (training failed)",
+                    fallback="stage1-order",
+                )
+            )
+        return [
+            RankedTranslation(
+                query=generated[index].query,
+                stage1_score=stage1_score,
+                stage2_score=stage1_score,
+                metadata=generated[index].metadata,
+            )
+            for index, stage1_score in pruned
+        ]
 
     def translate_ranked(
         self,
@@ -251,54 +638,22 @@ class MetaSQL:
         db: Database,
         compositions: list[QueryMetadata] | None = None,
     ) -> list[RankedTranslation]:
-        """Full two-stage ranking; returns translations best-first."""
-        if not self._trained:
-            raise RuntimeError("MetaSQL pipeline is not trained")
-        generated = self.candidates(question, db, compositions)
-        if not generated:
-            return []
-        schema = db.schema
-        surfaces = [sql_surface(c.query, schema) for c in generated]
-        pruned = self.stage1.rank(
-            question, surfaces, top_k=self.config.first_stage_top
-        )
-        ranked: list[RankedTranslation] = []
-        if self.config.use_stage2:
-            stage2_input = [
-                (
-                    surfaces[index],
-                    tuple(unit_phrases(generated[index].query, schema)),
-                )
-                for index, __ in pruned
-            ]
-            stage2_ranked = self.stage2.rank(question, stage2_input)
-            for position, score in stage2_ranked:
-                index, stage1_score = pruned[position]
-                candidate = generated[index]
-                ranked.append(
-                    RankedTranslation(
-                        query=candidate.query,
-                        stage1_score=stage1_score,
-                        stage2_score=score,
-                        metadata=candidate.metadata,
-                    )
-                )
-        else:
-            for index, stage1_score in pruned:
-                candidate = generated[index]
-                ranked.append(
-                    RankedTranslation(
-                        query=candidate.query,
-                        stage1_score=stage1_score,
-                        stage2_score=stage1_score,
-                        metadata=candidate.metadata,
-                    )
-                )
-        return ranked
+        """Full two-stage ranking; returns translations best-first.
+
+        The resilience report for the call is kept on ``last_report``;
+        use :meth:`translate_ranked_report` to get it alongside the list.
+        """
+        return self.translate_ranked_report(
+            question, db, compositions
+        ).translations
 
     def translate(self, question: str, db: Database) -> Query | None:
-        """Best translation for *question*, or None."""
-        ranked = self.translate_ranked(question, db)
-        if not ranked:
+        """Best translation for *question*, or None.
+
+        Degrades rather than raises on stage faults: the report on
+        ``last_report`` records anything that was absorbed.
+        """
+        result = self.translate_ranked_report(question, db)
+        if not result.translations:
             return None
-        return ranked[0].query
+        return result.translations[0].query

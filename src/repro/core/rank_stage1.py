@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.resilience import fire
 from repro.nn.autograd import Tensor
 from repro.nn.encoder import EncoderTower
 from repro.nn.optim import Adam
@@ -138,6 +139,7 @@ class DualTowerRanker:
         self, question: str, sql_texts: list[str], top_k: int = 10
     ) -> list[tuple[int, float]]:
         """Indices of the top-k SQL texts with their cosine scores."""
+        fire("stage1.rank")
         if not sql_texts:
             return []
         q = self.encode_question(question)

@@ -32,6 +32,7 @@ from repro.core.align import (
     phrase_features,
     sentence_features,
 )
+from repro.core.resilience import fire
 from repro.nn.autograd import Tensor
 from repro.nn.layers import MLP
 from repro.nn.losses import neural_ndcg_loss
@@ -201,6 +202,7 @@ class MultiGrainedRanker:
         candidates: list[tuple[str, tuple[str, ...]]],
     ) -> list[tuple[int, float]]:
         """Rank (surface, phrases) candidates, best first."""
+        fire("stage2.rank")
         scored = [
             (index, self.score(question, surface, phrases))
             for index, (surface, phrases) in enumerate(candidates)

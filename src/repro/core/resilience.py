@@ -1,0 +1,304 @@
+"""Fault isolation and graceful degradation for the generate-then-rank
+pipeline.
+
+MetaSQL's value proposition is that a ranked *set* of candidates beats a
+single decode — which only holds if one bad candidate (or one flaky stage)
+cannot take the whole translation down.  This module provides the three
+pieces the pipeline threads through every stage:
+
+- :class:`FaultInjector` — a failpoint registry with named injection
+  sites (:data:`FAILPOINTS`).  Each guarded function calls
+  :func:`fire` at entry; tests arm a site to make it raise, which is how
+  the degradation chain is exercised deterministically.  With nothing
+  armed, ``fire`` is a single truthiness check on an empty dict.
+- :class:`DegradationPolicy` — knobs governing the fallback chain:
+  stage-2 failure falls back to stage-1 ordering, stage-1 failure to
+  generation order, classifier failure to the composer's observed
+  compositions, with bounded deterministic retries for transient faults.
+- :class:`TranslationReport` / :class:`FaultRecord` — structured
+  observability attached to pipeline output: which stages degraded, which
+  candidates were skipped, and why.
+
+The module is deliberately dependency-light (stdlib + the error taxonomy
+in :mod:`repro.sqlkit.errors`) so low-level modules such as
+:mod:`repro.schema.executor` can import it without layering cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.sqlkit.errors import PipelineError, StageError
+
+#: Named injection sites, one per guarded pipeline stage.  ``fire(site)``
+#: is called at the entry of the corresponding function.
+FAILPOINTS: tuple[str, ...] = (
+    "classifier.predict",
+    "compose",
+    "generator.generate",
+    "values.ground_values",
+    "stage1.rank",
+    "stage2.rank",
+    "executor.execute",
+)
+
+
+class InjectedFault(PipelineError):
+    """The fault raised by an armed failpoint (test-controlled)."""
+
+    def __init__(self, site: str, transient: bool = False) -> None:
+        kind = "transient" if transient else "fatal"
+        super().__init__(f"injected {kind} fault at {site!r}")
+        self.site = site
+        self.transient = transient
+
+
+@dataclass
+class _ArmedSite:
+    """One armed failpoint: what to raise and how many times."""
+
+    site: str
+    exc: Callable[[], BaseException] | BaseException | None
+    times: int | None  # None = every call
+    transient: bool
+    fired: int = 0
+
+    def trigger(self) -> None:
+        if self.times is not None and self.fired >= self.times:
+            return
+        self.fired += 1
+        if self.exc is not None:
+            # Accept a factory (class or zero-arg callable) or a ready
+            # exception instance — instances are not callable.
+            raise self.exc() if callable(self.exc) else self.exc
+        raise InjectedFault(self.site, transient=self.transient)
+
+
+class FaultInjector:
+    """Registry of named failpoints, controllable from tests.
+
+    >>> with FAULTS.inject("stage1.rank"):
+    ...     pipeline.translate(question, db)   # stage-1 fault -> fallback
+    """
+
+    def __init__(self, sites: tuple[str, ...] = FAILPOINTS) -> None:
+        self._sites = set(sites)
+        self._armed: dict[str, _ArmedSite] = {}
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """All registered failpoint names."""
+        return tuple(sorted(self._sites))
+
+    def register(self, site: str) -> None:
+        """Add a new failpoint name (for downstream extensions)."""
+        self._sites.add(site)
+
+    def _check(self, site: str) -> None:
+        if site not in self._sites:
+            known = ", ".join(sorted(self._sites))
+            raise ValueError(f"unknown failpoint {site!r} (known: {known})")
+
+    def arm(
+        self,
+        site: str,
+        exc: Callable[[], BaseException] | BaseException | None = None,
+        times: int | None = 1,
+        transient: bool = False,
+    ) -> None:
+        """Make *site* raise on its next *times* firings (None = always).
+
+        *exc* may be an exception class, a zero-arg factory, or a ready
+        instance; by default an :class:`InjectedFault` is raised.
+        """
+        self._check(site)
+        self._armed[site] = _ArmedSite(
+            site=site, exc=exc, times=times, transient=transient
+        )
+
+    def disarm(self, site: str | None = None) -> None:
+        """Disarm one site, or every site when *site* is None."""
+        if site is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(site, None)
+
+    def fired(self, site: str) -> int:
+        """How many times the armed plan at *site* has raised."""
+        plan = self._armed.get(site)
+        return plan.fired if plan is not None else 0
+
+    def fire(self, site: str) -> None:
+        """Hook called at a failpoint; raises only when the site is armed."""
+        if not self._armed:
+            return
+        plan = self._armed.get(site)
+        if plan is not None:
+            plan.trigger()
+
+    @contextmanager
+    def inject(
+        self,
+        site: str,
+        exc: Callable[[], BaseException] | BaseException | None = None,
+        times: int | None = 1,
+        transient: bool = False,
+    ) -> Iterator["FaultInjector"]:
+        """Context manager: arm *site* on entry, disarm it on exit."""
+        self.arm(site, exc=exc, times=times, transient=transient)
+        try:
+            yield self
+        finally:
+            self.disarm(site)
+
+
+#: Process-wide default injector; guarded modules call ``fire`` on it.
+FAULTS = FaultInjector()
+
+
+def fire(site: str) -> None:
+    """Fire the process-wide injector at *site* (no-op unless armed)."""
+    FAULTS.fire(site)
+
+
+# ----------------------------------------------------------------------
+# Degradation policy and observability.
+
+
+@dataclass
+class DegradationPolicy:
+    """Governs the graceful-degradation chain of a pipeline.
+
+    The default policy never fails closed: every stage has a fallback and
+    transient faults get ``max_retries`` bounded deterministic retries.
+    Setting a flag to False makes that stage's failure terminal for the
+    translation (an empty result, still with a report — never an
+    unhandled exception out of ``translate``).
+    """
+
+    max_retries: int = 2
+    classifier_fallback: bool = True  # -> composer.all_compositions
+    stage1_fallback: bool = True  # -> generation order
+    stage2_fallback: bool = True  # -> stage-1 ordering
+    isolate_candidates: bool = True  # skip, never abort, on candidate errors
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One recorded fault: where it happened and how it was absorbed."""
+
+    stage: str  # logical stage: classify/compose/generate/ground/...
+    error_type: str  # exception class name
+    error: str  # exception message
+    site: str | None = None  # failpoint name when known
+    candidate: int | None = None  # candidate index for isolated faults
+    retries: int = 0  # retries consumed before this record
+    fallback: str | None = None  # degradation applied ("retry" = recovered)
+
+
+@dataclass
+class TranslationReport:
+    """Structured account of one translation's faults and degradations."""
+
+    question: str = ""
+    faults: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback other than a clean retry was applied."""
+        return any(record.fallback != "retry" for record in self.faults)
+
+    @property
+    def skipped_candidates(self) -> int:
+        """Number of per-candidate faults that were isolated and skipped."""
+        return sum(1 for r in self.faults if r.candidate is not None)
+
+    def stage_faults(self, stage: str) -> list[FaultRecord]:
+        """Fault records for one logical stage."""
+        return [record for record in self.faults if record.stage == stage]
+
+    def fallbacks(self) -> list[str]:
+        """The fallback labels applied, in order."""
+        return [r.fallback for r in self.faults if r.fallback is not None]
+
+    def record(self, record: FaultRecord) -> None:
+        self.faults.append(record)
+
+    def record_exception(
+        self,
+        stage: str,
+        exc: BaseException,
+        site: str | None = None,
+        candidate: int | None = None,
+        retries: int = 0,
+        fallback: str | None = None,
+    ) -> FaultRecord:
+        """Append a :class:`FaultRecord` built from a caught exception."""
+        record = FaultRecord(
+            stage=stage,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            site=getattr(exc, "site", site),
+            candidate=candidate,
+            retries=retries,
+            fallback=fallback,
+        )
+        self.record(record)
+        return record
+
+    def summary(self) -> str:
+        """One-line human summary (for eval output and logs)."""
+        if not self.faults:
+            return "ok"
+        parts = []
+        for record in self.faults:
+            where = record.stage
+            if record.candidate is not None:
+                where += f"[{record.candidate}]"
+            label = record.fallback or "fault"
+            parts.append(f"{where}:{label}")
+        return "degraded(" + ", ".join(parts) + ")"
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether *exc* is retryable under a :class:`DegradationPolicy`."""
+    return bool(getattr(exc, "transient", False))
+
+
+def guarded_call(
+    stage: str,
+    fn: Callable[[], object],
+    policy: DegradationPolicy,
+    report: TranslationReport,
+    fallback: str | None = None,
+    site: str | None = None,
+) -> tuple[bool, object]:
+    """Run *fn* with bounded retries for transient faults.
+
+    Returns ``(True, value)`` on success — recording a ``retry`` record if
+    transient faults were absorbed on the way — or ``(False, None)`` after
+    recording the terminal fault with the *fallback* label the caller is
+    about to apply.  Only :class:`Exception` is absorbed; interrupts and
+    system exits propagate.
+    """
+    last_exc: BaseException | None = None
+    for attempt in range(policy.max_retries + 1):
+        try:
+            value = fn()
+        except Exception as exc:  # noqa: BLE001 — isolation boundary
+            last_exc = exc
+            if is_transient(exc) and attempt < policy.max_retries:
+                continue
+            report.record_exception(
+                stage, exc, site=site, retries=attempt, fallback=fallback
+            )
+            return False, None
+        if attempt and last_exc is not None:
+            report.record_exception(
+                stage, last_exc, site=site, retries=attempt, fallback="retry"
+            )
+        return True, value
+    # Unreachable: the loop always returns.
+    raise StageError(stage, "retry loop exited without a result")

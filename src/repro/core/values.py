@@ -13,6 +13,7 @@ from __future__ import annotations
 import re
 from dataclasses import replace
 
+from repro.core.resilience import fire
 from repro.models.mentions import extract_mentions, question_tokens
 from repro.schema.database import Database
 from repro.schema.schema import TEXT
@@ -32,6 +33,7 @@ _PLACEHOLDER = "value"
 
 def ground_values(query: Query, question: str, db: Database) -> Query:
     """Replace ``'value'`` placeholders in *query* with grounded literals."""
+    fire("values.ground_values")
     grounder = _Grounder(question, db)
     return grounder.rewrite(query)
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.resilience import TranslationReport
 from repro.data.dataset import Dataset, Example
 from repro.eval.metrics import execution_match, mrr, precision_at_k
 from repro.models.base import TranslationModel
@@ -25,10 +26,16 @@ class EvalRecord:
     predictions: list[Query]
     exact_flags: list[bool]
     execution_hit: bool
+    #: Resilience report for the translation (MetaSQL pipelines only).
+    report: TranslationReport | None = None
 
     @property
     def em(self) -> bool:
         return bool(self.exact_flags and self.exact_flags[0])
+
+    @property
+    def degraded(self) -> bool:
+        return self.report is not None and self.report.degraded
 
     @property
     def hardness(self) -> Hardness:
@@ -60,6 +67,23 @@ class EvalResult:
     @property
     def mrr(self) -> float:
         return mrr([r.exact_flags for r in self.records])
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of examples whose translation degraded a stage."""
+        if not self.records:
+            return 0.0
+        return sum(r.degraded for r in self.records) / len(self.records)
+
+    def fault_counts(self) -> dict[str, int]:
+        """Number of fault records per logical stage, across all examples."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.report is None:
+                continue
+            for fault in record.report.faults:
+                counts[fault.stage] = counts.get(fault.stage, 0) + 1
+        return counts
 
     def em_by_hardness(self) -> dict[str, float]:
         buckets: dict[str, list[bool]] = {h.value: [] for h in Hardness}
@@ -156,18 +180,26 @@ def evaluate_metasql(
     examples = dataset.examples[:limit] if limit else dataset.examples
     for example in examples:
         db = dataset.database(example.db_id)
-        ranked = pipeline.translate_ranked(example.question, db)
-        predictions = [r.query for r in ranked]
+        outcome = pipeline.translate_ranked_report(example.question, db)
+        predictions = [r.query for r in outcome.translations]
         flags = [exact_match(p, example.sql) for p in predictions[:5]]
-        execution_hit = bool(predictions) and compute_execution and (
-            execution_match(predictions[0], example.sql, db)
-        )
+        execution_hit = False
+        if predictions and compute_execution:
+            try:
+                execution_hit = execution_match(
+                    predictions[0], example.sql, db, report=outcome.report
+                )
+            except Exception as exc:  # noqa: BLE001 — eval isolation
+                outcome.report.record_exception(
+                    "execute", exc, fallback="no-execution"
+                )
         result.records.append(
             EvalRecord(
                 example=example,
                 predictions=predictions,
                 exact_flags=flags,
                 execution_hit=execution_hit,
+                report=outcome.report,
             )
         )
     return result

@@ -14,10 +14,15 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.schema.database import Database
-from repro.schema.executor import execute
+from repro.schema.executor import ExecutionBudget, execute
 from repro.sqlkit.ast import Query, SetQuery
 from repro.sqlkit.compare import exact_match
 from repro.sqlkit.errors import SqlError
+
+#: Default per-query step allowance for the EX metric.  Generous for any
+#: legitimate benchmark query, but bounds a pathological candidate (e.g.
+#: a huge accidental cartesian product) so evaluation cannot hang.
+EX_BUDGET_STEPS = 2_000_000
 
 
 def _has_order(query: Query) -> bool:
@@ -40,12 +45,31 @@ def _normalise_row(row: tuple) -> tuple:
     return tuple(out)
 
 
-def execution_match(predicted: Query, gold: Query, db: Database) -> bool:
-    """EX: do both queries produce the same results on *db*?"""
+def execution_match(
+    predicted: Query,
+    gold: Query,
+    db: Database,
+    budget_steps: int | None = EX_BUDGET_STEPS,
+    report=None,
+) -> bool:
+    """EX: do both queries produce the same results on *db*?
+
+    Each execution runs under a fresh step budget (*budget_steps*; None
+    disables it); a candidate that exhausts it counts as a non-match,
+    exactly like any other execution error.  When *report* (a
+    :class:`~repro.core.resilience.TranslationReport`) is given, absorbed
+    execution faults are recorded on it.
+    """
     try:
-        predicted_rows = execute(predicted, db)
-        gold_rows = execute(gold, db)
-    except SqlError:
+        predicted_rows = execute(
+            predicted, db, budget=ExecutionBudget(max_steps=budget_steps)
+        )
+        gold_rows = execute(
+            gold, db, budget=ExecutionBudget(max_steps=budget_steps)
+        )
+    except SqlError as exc:
+        if report is not None:
+            report.record_exception("execute", exc, fallback="no-execution")
         return False
     predicted_rows = [_normalise_row(r) for r in predicted_rows]
     gold_rows = [_normalise_row(r) for r in gold_rows]

@@ -56,6 +56,10 @@ def _clone_with_generator(pipeline: MetaSQL, generator_config) -> MetaSQL:
     clone.stage1 = pipeline.stage1
     clone.stage2 = pipeline.stage2
     clone._trained = True
+    clone._classifier_ok = pipeline._classifier_ok
+    clone._stage1_ok = pipeline._stage1_ok
+    clone._stage2_ok = pipeline._stage2_ok
+    clone.training_report = pipeline.training_report
     return clone
 
 

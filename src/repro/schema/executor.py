@@ -12,13 +12,22 @@ Semantics notes (documented divergences from full SQL):
 - string comparisons are case-insensitive (robust to NL-cased values),
 - aggregates over an empty group: ``count`` is 0, others are NULL,
 - a bare column under GROUP BY takes the group's first row value.
+
+Execution is bounded by an optional :class:`ExecutionBudget` (row/step
+limits) so a pathological candidate query — e.g. an accidental cartesian
+product over large tables — raises :class:`ExecutionBudgetError` instead
+of hanging evaluation.  The budget is ambient (a context variable), so
+nested subquery execution draws from the same allowance.
 """
 
 from __future__ import annotations
 
 import re
+from contextvars import ContextVar
+from dataclasses import dataclass
 from itertools import product
 
+from repro.core.resilience import fire
 from repro.schema.database import Database
 from repro.sqlkit.ast import (
     AggExpr,
@@ -33,14 +42,81 @@ from repro.sqlkit.ast import (
     Star,
     ValueExpr,
 )
-from repro.sqlkit.errors import SqlExecutionError
+from repro.sqlkit.errors import ExecutionBudgetError, SqlExecutionError
 
 Row = dict[str, object]
 ResultRow = tuple[object, ...]
 
 
-def execute(query: Query, db: Database) -> list[ResultRow]:
-    """Execute *query* against *db*, returning result rows as tuples."""
+@dataclass
+class ExecutionBudget:
+    """Row/step limits for one top-level :func:`execute` call.
+
+    ``max_steps`` bounds the cumulative work (row comparisons considered,
+    including pre-charged join products); ``max_rows`` bounds the size of
+    any single materialised intermediate row set.  ``None`` disables the
+    corresponding limit.  A budget is stateful — create a fresh one per
+    top-level call.
+    """
+
+    max_steps: int | None = 1_000_000
+    max_rows: int | None = 100_000
+    steps: int = 0
+
+    def charge(self, n: int = 1) -> None:
+        """Consume *n* steps; raise once the step limit is exceeded."""
+        self.steps += n
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise ExecutionBudgetError(
+                "execution step budget exhausted", self.steps, self.max_steps
+            )
+
+    def charge_rows(self, n: int) -> None:
+        """Account for materialising *n* rows in one intermediate set."""
+        if self.max_rows is not None and n > self.max_rows:
+            raise ExecutionBudgetError(
+                "intermediate row budget exhausted", n, self.max_rows
+            )
+        self.charge(n)
+
+
+_BUDGET: ContextVar[ExecutionBudget | None] = ContextVar(
+    "execution_budget", default=None
+)
+
+
+def _charge(n: int = 1) -> None:
+    budget = _BUDGET.get()
+    if budget is not None:
+        budget.charge(n)
+
+
+def _charge_rows(n: int) -> None:
+    budget = _BUDGET.get()
+    if budget is not None:
+        budget.charge_rows(n)
+
+
+def execute(
+    query: Query, db: Database, budget: ExecutionBudget | None = None
+) -> list[ResultRow]:
+    """Execute *query* against *db*, returning result rows as tuples.
+
+    When *budget* is given it becomes the ambient budget for this call and
+    every nested subquery; without one, the enclosing call's budget (if
+    any) keeps applying, so recursive internal calls never reset limits.
+    """
+    fire("executor.execute")
+    if budget is None:
+        return _execute(query, db)
+    token = _BUDGET.set(budget)
+    try:
+        return _execute(query, db)
+    finally:
+        _BUDGET.reset(token)
+
+
+def _execute(query: Query, db: Database) -> list[ResultRow]:
     if isinstance(query, SetQuery):
         left = execute(query.left, db)
         right = execute(query.right, db)
@@ -90,6 +166,7 @@ def _row_key(row: ResultRow):
 
 def _execute_select(query: SelectQuery, db: Database) -> list[ResultRow]:
     env_rows, env_columns = _build_from(query, db)
+    _charge(len(env_rows))
 
     if query.where is not None:
         env_rows = [
@@ -111,6 +188,7 @@ def _execute_select(query: SelectQuery, db: Database) -> list[ResultRow]:
 
     ordered = list(result_envs)
     if query.order_by:
+        _charge(len(ordered) * len(query.order_by))
         # Stable multi-key sort: apply keys from least to most significant.
         for item in reversed(query.order_by):
             ordered.sort(
@@ -208,6 +286,7 @@ def _build_from(query: SelectQuery, db: Database) -> tuple[list[Row], list[str]]
         joined.append(
             {f"{first.name.lower()}.{k}": v for k, v in row.items()}
         )
+    _charge_rows(len(joined))
     attached = [first.name.lower()]
 
     explicit = list(from_.joins)
@@ -222,12 +301,16 @@ def _build_from(query: SelectQuery, db: Database) -> tuple[list[Row], list[str]]
             {f"{table_l}.{k}": v for k, v in row.items()}
             for row in db.table_rows(table.name)
         ]
+        # Pre-charge the full join product: a runaway cartesian explosion
+        # must trip the budget before the work is done, not after.
+        _charge(len(joined) * len(right_rows))
         for left_row, right_row in product(joined, right_rows):
             merged = {**left_row, **right_row}
             if all(
                 _values_equal(merged.get(a), merged.get(b)) for a, b in conditions
             ):
                 new_rows.append(merged)
+        _charge_rows(len(new_rows))
         joined = new_rows
         attached.append(table_l)
 

@@ -1,4 +1,13 @@
-"""Exception hierarchy for the SQL substrate."""
+"""Exception hierarchy for the SQL substrate and the pipeline layer.
+
+Two branches share the :class:`SqlError` root so callers with an existing
+``except SqlError`` net keep catching everything:
+
+- **substrate errors** (tokenize / parse / execute / schema), and
+- **pipeline errors** — the structured taxonomy used by the resilience
+  layer (:mod:`repro.core.resilience`) to classify stage failures, decide
+  retries and drive graceful degradation.
+"""
 
 
 class SqlError(Exception):
@@ -23,3 +32,60 @@ class SqlExecutionError(SqlError):
 
 class SchemaError(SqlError):
     """Raised when a query references tables/columns absent from the schema."""
+
+
+class ExecutionBudgetError(SqlExecutionError):
+    """Raised when a query exhausts its row/step execution budget.
+
+    Subclasses :class:`SqlExecutionError` so existing ``except SqlError``
+    handlers (e.g. the EX metric) treat a runaway candidate query as a
+    non-match instead of hanging the evaluation.
+    """
+
+    def __init__(self, message: str, spent: int, limit: int) -> None:
+        super().__init__(f"{message} ({spent} > limit {limit})")
+        self.spent = spent
+        self.limit = limit
+
+
+# ----------------------------------------------------------------------
+# Pipeline-layer taxonomy (used by repro.core.resilience).
+
+
+class PipelineError(SqlError):
+    """Base class for errors raised by the generate-then-rank pipeline."""
+
+
+class PipelineStateError(PipelineError, RuntimeError):
+    """A pipeline API was used in an invalid lifecycle state.
+
+    Also a :class:`RuntimeError` for backward compatibility with callers
+    that caught the bare ``RuntimeError`` older versions raised.
+    """
+
+
+class StageError(PipelineError):
+    """A pipeline stage failed as a whole (classifier, ranker, ...)."""
+
+    def __init__(self, stage: str, message: str) -> None:
+        super().__init__(f"[{stage}] {message}")
+        self.stage = stage
+
+
+class CandidateError(PipelineError):
+    """A single candidate failed processing; isolable, never fatal."""
+
+    def __init__(self, message: str, index: int | None = None) -> None:
+        super().__init__(message)
+        self.index = index
+
+
+class TransientError(PipelineError):
+    """A retryable fault (flaky backend, timeout); bounded retries apply.
+
+    The resilience layer also honours a truthy ``transient`` attribute on
+    any exception, so foreign exception types can opt in without
+    subclassing.
+    """
+
+    transient = True

@@ -2,14 +2,46 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.classifier import ClassifierConfig
 from repro.core.metadata import QueryMetadata
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.core.rank_stage1 import Stage1Config
+from repro.core.rank_stage2 import Stage2Config
+from repro.core.resilience import (
+    FAILPOINTS,
+    FAULTS,
+    FaultInjector,
+    InjectedFault,
+    TranslationReport,
+)
 from repro.core.values import ground_values
+from repro.eval.metrics import execution_match
 from repro.schema.database import Database
-from repro.schema.executor import execute
+from repro.schema.executor import ExecutionBudget, execute
 from repro.schema.schema import NUMBER, Column, Schema, Table
-from repro.sqlkit.errors import SqlError, SqlExecutionError
+from repro.sqlkit.errors import (
+    ExecutionBudgetError,
+    PipelineStateError,
+    SqlError,
+    SqlExecutionError,
+)
 from repro.sqlkit.parser import parse_sql
+
+pytestmark = pytest.mark.robustness
+
+#: The failpoints crossed by ``translate_ranked`` (executor.execute is
+#: only reached by the EX metric, covered separately).
+PIPELINE_FAILPOINTS = [site for site in FAILPOINTS if site != "executor.execute"]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Never leak an armed failpoint into another test."""
+    yield
+    FAULTS.disarm()
 
 
 @pytest.fixture()
@@ -111,3 +143,335 @@ class TestGroundingRobustness:
         # Placeholder survives; executing it just returns no rows.
         rows = execute(grounded, world_db)
         assert rows == []
+
+
+# ----------------------------------------------------------------------
+# Fault-injection registry.
+
+
+class TestFaultInjector:
+    def test_unknown_site_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            injector.arm("no.such.site")
+
+    def test_arm_fire_disarm(self):
+        injector = FaultInjector()
+        injector.arm("stage1.rank", times=2)
+        for __ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.fire("stage1.rank")
+        injector.fire("stage1.rank")  # budget of 2 exhausted: no-op
+        assert injector.fired("stage1.rank") == 2
+        injector.disarm("stage1.rank")
+        injector.fire("stage1.rank")
+
+    def test_other_sites_unaffected(self):
+        injector = FaultInjector()
+        injector.arm("compose")
+        injector.fire("stage2.rank")  # not armed: no-op
+
+    def test_context_manager_disarms(self):
+        injector = FaultInjector()
+        with injector.inject("compose", times=None):
+            with pytest.raises(InjectedFault):
+                injector.fire("compose")
+        injector.fire("compose")
+
+    def test_custom_exception_factory(self):
+        injector = FaultInjector()
+        injector.arm("executor.execute", exc=lambda: SqlExecutionError("boom"))
+        with pytest.raises(SqlExecutionError, match="boom"):
+            injector.fire("executor.execute")
+
+    def test_custom_exception_instance(self):
+        injector = FaultInjector()
+        injector.arm("executor.execute", exc=SqlExecutionError("ready-made"))
+        with pytest.raises(SqlExecutionError, match="ready-made"):
+            injector.fire("executor.execute")
+
+    def test_transient_flag_carried(self):
+        injector = FaultInjector()
+        injector.arm("stage1.rank", transient=True)
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.fire("stage1.rank")
+        assert excinfo.value.transient is True
+        assert excinfo.value.site == "stage1.rank"
+
+    def test_registered_sites_cover_the_pipeline(self):
+        assert set(PIPELINE_FAILPOINTS) | {"executor.execute"} == set(
+            FAULTS.sites
+        )
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation at every failpoint.
+
+
+class TestDegradationChain:
+    @pytest.mark.parametrize("site", PIPELINE_FAILPOINTS)
+    def test_single_fault_degrades_instead_of_raising(
+        self, site, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with FAULTS.inject(site, times=1):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        assert isinstance(result.translations, list)
+        assert result.report.degraded
+        assert site in [record.site for record in result.report.faults]
+        if site != "generator.generate":
+            # Degraded, but a ranked list still comes out.
+            assert result.translations
+
+    @pytest.mark.parametrize("site", PIPELINE_FAILPOINTS)
+    def test_translate_never_raises_under_single_fault(
+        self, site, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[1]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with FAULTS.inject(site, times=1):
+            query = trained_pipeline.translate(example.question, db)
+        report = trained_pipeline.last_report
+        assert site in [record.site for record in report.faults]
+        if site == "generator.generate":
+            assert query is None  # clean None, not an exception
+        else:
+            assert query is not None
+
+    def test_persistent_generation_fault_yields_clean_none(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with FAULTS.inject("generator.generate", times=None):
+            assert trained_pipeline.translate(example.question, db) is None
+        assert trained_pipeline.last_report.degraded
+
+    def test_transient_fault_recovers_via_retry(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        baseline = trained_pipeline.translate_ranked(example.question, db)
+        with FAULTS.inject("stage1.rank", times=1, transient=True):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        # Retried and fully recovered: same output, not degraded.
+        assert not result.report.degraded
+        assert "retry" in result.report.fallbacks()
+        assert [r.sql for r in result.translations] == [
+            r.sql for r in baseline
+        ]
+
+    def test_stage2_fault_falls_back_to_stage1_order(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with FAULTS.inject("stage2.rank", times=1):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        scores = [r.stage1_score for r in result.translations]
+        assert scores == sorted(scores, reverse=True)
+        assert all(
+            r.stage2_score == r.stage1_score for r in result.translations
+        )
+        assert "stage1-order" in result.report.fallbacks()
+
+    def test_stage1_fault_falls_back_to_generation_order(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with FAULTS.inject("stage1.rank", times=None):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        assert result.translations
+        assert "generation-order" in result.report.fallbacks()
+
+    def test_ground_fault_skips_one_candidate_only(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with FAULTS.inject("values.ground_values", times=1):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        assert result.translations
+        assert result.report.skipped_candidates == 1
+
+    def test_executor_fault_recorded_by_execution_match(self, world_db):
+        query = parse_sql("SELECT name FROM country")
+        report = TranslationReport(question="probe")
+        with FAULTS.inject("executor.execute", times=1):
+            hit = execution_match(query, query, world_db, report=report)
+        assert hit is False
+        assert "executor.execute" in [r.site for r in report.faults]
+
+    def test_executor_fault_surfaces_in_eval_report(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        from repro.eval.evaluate import evaluate_metasql
+
+        with FAULTS.inject("executor.execute", times=1):
+            result = evaluate_metasql(
+                trained_pipeline, tiny_benchmark.dev, limit=2
+            )
+        assert len(result.records) == 2
+        assert result.fault_counts().get("execute", 0) >= 1
+        assert 0.0 < result.degraded_rate <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Lifecycle errors and configuration aliasing.
+
+
+class TestPipelineState:
+    def test_untrained_translate_raises_state_error(self, world_db):
+        from repro.models.registry import create_model
+
+        pipe = MetaSQL(create_model("lgesql"))
+        with pytest.raises(PipelineStateError, match="not trained"):
+            pipe.translate_ranked("anything", world_db)
+
+    def test_untrained_candidates_raises_state_error(self, world_db):
+        from repro.models.registry import create_model
+
+        pipe = MetaSQL(create_model("lgesql"))
+        with pytest.raises(PipelineStateError, match="not trained"):
+            pipe.candidates("anything", world_db)
+
+    def test_state_error_is_still_a_runtime_error(self, world_db):
+        from repro.models.registry import create_model
+
+        pipe = MetaSQL(create_model("lgesql"))
+        with pytest.raises(RuntimeError):
+            pipe.translate_ranked("anything", world_db)
+
+
+class TestConfigAliasing:
+    def test_pipeline_does_not_mutate_shared_config(self):
+        from repro.models.registry import create_model
+
+        shared = MetaSQLConfig(phrase_supervision=False)
+        pipe = MetaSQL(create_model("lgesql"), shared)
+        # The ablation flag reaches the ranker without clobbering the
+        # (possibly shared) Stage2Config in place.
+        assert shared.stage2.phrase_supervision is True
+        assert pipe.stage2.config.phrase_supervision is False
+
+    def test_two_pipelines_sharing_a_stage2_config(self):
+        from repro.models.registry import create_model
+
+        stage2 = Stage2Config()
+        ablated = MetaSQLConfig(phrase_supervision=False, stage2=stage2)
+        full = MetaSQLConfig(phrase_supervision=True, stage2=stage2)
+        pipe_ablated = MetaSQL(create_model("lgesql"), ablated)
+        pipe_full = MetaSQL(create_model("lgesql"), full)
+        assert pipe_ablated.stage2.config.phrase_supervision is False
+        assert pipe_full.stage2.config.phrase_supervision is True
+        assert stage2.phrase_supervision is True
+
+
+# ----------------------------------------------------------------------
+# Training-time fault isolation.
+
+
+class TestTrainingIsolation:
+    def test_training_survives_injected_example_faults(
+        self, fitted_lgesql, tiny_benchmark
+    ):
+        config = MetaSQLConfig(
+            ranker_train_questions=12,
+            classifier=ClassifierConfig(epochs=4),
+            stage1=Stage1Config(epochs=4),
+            stage2=Stage2Config(epochs=3),
+        )
+        pipe = MetaSQL(fitted_lgesql, config)
+        with FAULTS.inject("generator.generate", times=3):
+            pipe.train(tiny_benchmark.train, fit_base_model=False)
+        assert pipe._trained
+        skipped = pipe.training_report.stage_faults("train")
+        assert len(skipped) == 3
+        # The degraded-trained pipeline still translates.
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        ranked = pipe.translate_ranked(example.question, db)
+        assert isinstance(ranked, list) and ranked
+
+
+# ----------------------------------------------------------------------
+# Execution budget guard.
+
+
+class TestExecutionBudget:
+    def test_rows_limit_trips_on_cartesian_product(self):
+        # Two unrelated tables (no FK): bare join is a cartesian product.
+        schema = Schema(
+            db_id="cartesian",
+            tables=(
+                Table("lhs", (Column("a", NUMBER),)),
+                Table("rhs", (Column("b", NUMBER),)),
+            ),
+        )
+        db = Database(schema)
+        db.insert_many("lhs", [{"a": i} for i in range(6)])
+        db.insert_many("rhs", [{"b": i} for i in range(6)])
+        budget = ExecutionBudget(max_steps=None, max_rows=10)
+        query = parse_sql("SELECT a FROM lhs, rhs")
+        with pytest.raises(ExecutionBudgetError):
+            execute(query, db, budget=budget)
+
+    def test_generous_budget_matches_unbudgeted_result(self, world_db):
+        query = parse_sql(
+            "SELECT name FROM country WHERE population > 100000 "
+            "ORDER BY population DESC"
+        )
+        unbudgeted = execute(query, world_db)
+        budgeted = execute(
+            query, world_db, budget=ExecutionBudget(max_steps=100_000)
+        )
+        assert budgeted == unbudgeted
+
+    def test_budget_is_scoped_to_the_call(self, world_db):
+        query = parse_sql("SELECT name FROM country")
+        with pytest.raises(ExecutionBudgetError):
+            execute(query, world_db, budget=ExecutionBudget(max_steps=1))
+        # The exhausted budget does not leak into the next call.
+        assert execute(query, world_db)
+
+    def test_subqueries_draw_from_the_same_budget(self, world_db):
+        query = parse_sql(
+            "SELECT name FROM country WHERE code IN "
+            "(SELECT countrycode FROM countrylanguage)"
+        )
+        budget = ExecutionBudget(max_steps=100_000)
+        execute(query, world_db, budget=budget)
+        # The nested subquery executions charged the outer budget: more
+        # steps than the outer row count alone.
+        assert budget.steps > 10
+
+    @settings(deadline=None, max_examples=40)
+    @given(max_steps=st.integers(min_value=1, max_value=2000))
+    def test_budget_guard_always_terminates(self, max_steps, world_db):
+        """Any step budget either completes or raises — never hangs."""
+        query = parse_sql(
+            "SELECT name FROM country, countrylanguage "
+            "WHERE population > 0 ORDER BY name"
+        )
+        budget = ExecutionBudget(max_steps=max_steps, max_rows=None)
+        reference = execute(query, world_db)
+        try:
+            rows = execute(query, world_db, budget=budget)
+        except ExecutionBudgetError:
+            # Overshoot is bounded by the single largest batched charge.
+            assert budget.steps <= max_steps + 200
+        else:
+            assert rows == reference
