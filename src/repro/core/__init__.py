@@ -16,6 +16,14 @@ _EXPORTS = {
     "FAULTS": ("repro.core.resilience", "FAULTS"),
     "FaultRecord": ("repro.core.resilience", "FaultRecord"),
     "TranslationReport": ("repro.core.resilience", "TranslationReport"),
+    "Deadline": ("repro.core.resilience", "Deadline"),
+    "deadline_scope": ("repro.core.resilience", "deadline_scope"),
+    "current_deadline": ("repro.core.resilience", "current_deadline"),
+    "CircuitBreaker": ("repro.core.resilience", "CircuitBreaker"),
+    "BreakerBoard": ("repro.core.resilience", "BreakerBoard"),
+    "save_pipeline": ("repro.core.persist", "save_pipeline"),
+    "load_pipeline": ("repro.core.persist", "load_pipeline"),
+    "verify_checkpoint": ("repro.core.persist", "verify_checkpoint"),
 }
 
 __all__ = sorted(_EXPORTS)

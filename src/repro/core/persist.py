@@ -1,22 +1,41 @@
-"""Persistence: save and load trained MetaSQL pipelines.
+"""Persistence: save and load trained MetaSQL pipelines, crash-safely.
 
-``save_pipeline`` writes every learned component to a directory —
-the base model's lexicon/sketch statistics (and demonstration pool for LLM
-sims), the multi-label classifier, the composition index and both ranking
-stages — as JSON plus one ``weights.npz``.  ``load_pipeline`` restores a
-pipeline that translates identically to the saved one, without retraining.
+``save_pipeline`` writes every learned component — the base model's
+lexicon/sketch statistics (and demonstration pool for LLM sims), the
+multi-label classifier, the composition index and both ranking stages —
+as JSON plus one ``weights.npz``.  ``load_pipeline`` restores a pipeline
+that translates identically to the saved one, without retraining.
+
+Durability contract:
+
+- **Atomic save.** The checkpoint is staged in a sibling temp directory
+  (every file fsynced) and swapped into place with ``os.rename``; a crash
+  at any point mid-write leaves the previous checkpoint untouched and
+  loadable.  Stale staging litter from an interrupted save is removed on
+  the next save.
+- **Verified load.** ``manifest.json`` carries a format version plus
+  per-file SHA-256 checksums and sizes; ``load_pipeline`` verifies them
+  before touching any component, so truncation, bit-flips and missing
+  files surface as a typed :class:`CheckpointError`
+  (:class:`CheckpointCorrupt` / :class:`CheckpointVersionError`) instead
+  of a partially restored pipeline.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
 import pathlib
+import shutil
 from collections import Counter, defaultdict
 
 import numpy as np
 
 from repro.core.classifier import _ClassifierNet
 from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.core.resilience import fire
 from repro.data.dataset import Example
 from repro.models.llm import FewShotLLM
 from repro.models.lexicon import Lexicon
@@ -24,9 +43,25 @@ from repro.models.registry import MODEL_PRESETS
 from repro.models.sketch import Sketch, SketchModel
 from repro.nn.encoder import EncoderTower
 from repro.nn.text import TextFeaturizer
+from repro.sqlkit.errors import (
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointVersionError,
+)
 from repro.sqlkit.parser import parse_sql
 
-FORMAT_VERSION = 1
+#: v1 wrote bare files with no checksums; v2 adds the ``files`` manifest
+#: section (sha256 + byte size per file) and the atomic staging save.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS: tuple[int, ...] = (FORMAT_VERSION,)
+
+#: The component files every checkpoint must contain.
+CHECKPOINT_FILES: tuple[str, ...] = (
+    "model.json",
+    "classifier.json",
+    "composer.json",
+    "weights.npz",
+)
 
 
 # ----------------------------------------------------------------------
@@ -183,13 +218,76 @@ def _restore_mlp(weights, prefix: str, mlp) -> None:
 
 
 # ----------------------------------------------------------------------
+# Durable file primitives.
+
+
+def _write_file(path: pathlib.Path, data: bytes) -> None:
+    """Write *data* and force it to stable storage before returning."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    """fsync a directory so renames inside it survive a power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platform without directory fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _sha256(path: pathlib.Path) -> tuple[str, int]:
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+            size += len(chunk)
+    return digest.hexdigest(), size
+
+
+def _staging_dir(root: pathlib.Path) -> pathlib.Path:
+    return root.parent / f".{root.name}.staging"
+
+
+def _displaced_dir(root: pathlib.Path) -> pathlib.Path:
+    return root.parent / f".{root.name}.old"
+
+
+# ----------------------------------------------------------------------
 # Public API.
 
 
 def save_pipeline(pipeline: MetaSQL, directory: str | pathlib.Path) -> None:
-    """Persist every learned component of *pipeline* under *directory*."""
+    """Persist every learned component of *pipeline* under *directory*.
+
+    The write is atomic with respect to crashes: the checkpoint is
+    staged in a sibling temp directory and renamed into place, so an
+    interrupted save (crash, ``kill -9``, fault) leaves any previous
+    checkpoint at *directory* complete and loadable.
+    """
     root = pathlib.Path(directory)
-    root.mkdir(parents=True, exist_ok=True)
+    root.parent.mkdir(parents=True, exist_ok=True)
+    staging = _staging_dir(root)
+    if staging.exists():  # litter from an interrupted save
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        _write_checkpoint(pipeline, staging)
+        fire("persist.finalize")
+        _swap_into_place(staging, root)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def _write_checkpoint(pipeline: MetaSQL, root: pathlib.Path) -> None:
+    """Write every checkpoint file (fsynced) plus the manifest into *root*."""
     model = pipeline.model
     weights: dict[str, np.ndarray] = {}
 
@@ -211,7 +309,12 @@ def save_pipeline(pipeline: MetaSQL, directory: str | pathlib.Path) -> None:
             for e in model._pool
         ]
         weights["llm.featurizer.idf"] = model._featurizer._idf
-    (root / "model.json").write_text(json.dumps(model_state))
+    _write_file(root / "model.json", json.dumps(model_state).encode())
+
+    # The mid-write failpoint: at this point some component files are on
+    # disk but neither the weights nor the manifest are — the window an
+    # interrupted save must not corrupt an existing checkpoint through.
+    fire("persist.save")
 
     # Classifier.
     classifier = pipeline.classifier
@@ -221,14 +324,16 @@ def save_pipeline(pipeline: MetaSQL, directory: str | pathlib.Path) -> None:
     }
     weights["classifier.featurizer.idf"] = classifier._featurizer._idf
     _collect_mlp_like_classifier(weights, classifier)
-    (root / "classifier.json").write_text(json.dumps(classifier_state))
+    _write_file(
+        root / "classifier.json", json.dumps(classifier_state).encode()
+    )
 
     # Composer.
     composer_state = [
         {"tags": sorted(tags), "rating": rating, "count": count}
         for (tags, rating), count in pipeline.composer._combos.items()
     ]
-    (root / "composer.json").write_text(json.dumps(composer_state))
+    _write_file(root / "composer.json", json.dumps(composer_state).encode())
 
     # Stage 1.
     weights["stage1.featurizer.idf"] = pipeline.stage1._featurizer._idf
@@ -239,8 +344,80 @@ def save_pipeline(pipeline: MetaSQL, directory: str | pathlib.Path) -> None:
     _collect_mlp(weights, "stage2.coarse", pipeline.stage2._coarse_head)
     _collect_mlp(weights, "stage2.fine", pipeline.stage2._fine_head)
 
-    (root / "manifest.json").write_text(json.dumps(manifest))
-    np.savez(root / "weights.npz", **weights)
+    buffer = io.BytesIO()
+    np.savez(buffer, **weights)
+    _write_file(root / "weights.npz", buffer.getvalue())
+
+    # The manifest goes last, sealing the files it checksums.
+    manifest["files"] = {
+        name: dict(zip(("sha256", "bytes"), _sha256(root / name)))
+        for name in CHECKPOINT_FILES
+    }
+    _write_file(root / "manifest.json", json.dumps(manifest).encode())
+    _fsync_dir(root)
+
+
+def _swap_into_place(staging: pathlib.Path, root: pathlib.Path) -> None:
+    """Atomically promote the complete *staging* checkpoint to *root*."""
+    displaced = _displaced_dir(root)
+    if displaced.exists():
+        shutil.rmtree(displaced)
+    if root.exists():
+        os.rename(root, displaced)
+    os.rename(staging, root)
+    _fsync_dir(root.parent)
+    shutil.rmtree(displaced, ignore_errors=True)
+
+
+def verify_checkpoint(directory: str | pathlib.Path) -> dict:
+    """Validate a checkpoint's manifest and checksums; return the manifest.
+
+    Raises :class:`CheckpointCorrupt` on a missing/truncated/bit-flipped
+    file (including the manifest itself) and
+    :class:`CheckpointVersionError` on a format-version mismatch.
+    """
+    root = pathlib.Path(directory)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.is_file():
+        raise CheckpointCorrupt(
+            f"no checkpoint manifest at {manifest_path}", path=root
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointCorrupt(
+            f"checkpoint manifest at {manifest_path} is unreadable: {exc}",
+            path=root,
+        ) from exc
+    version = manifest.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise CheckpointVersionError(version, SUPPORTED_VERSIONS, path=root)
+    files = manifest.get("files")
+    if not isinstance(files, dict) or not files:
+        raise CheckpointCorrupt(
+            f"checkpoint manifest at {manifest_path} lists no files",
+            path=root,
+        )
+    for name, expected in files.items():
+        path = root / name
+        if not path.is_file():
+            raise CheckpointCorrupt(
+                f"checkpoint file {name!r} is missing from {root}", path=root
+            )
+        digest, size = _sha256(path)
+        if size != expected.get("bytes"):
+            raise CheckpointCorrupt(
+                f"checkpoint file {name!r} is truncated or padded "
+                f"({size} bytes, manifest says {expected.get('bytes')})",
+                path=root,
+            )
+        if digest != expected.get("sha256"):
+            raise CheckpointCorrupt(
+                f"checkpoint file {name!r} fails its checksum "
+                f"(bit-flip or partial write)",
+                path=root,
+            )
+    return manifest
 
 
 def _collect_mlp_like_classifier(weights, classifier) -> None:
@@ -254,14 +431,32 @@ def _collect_mlp_like_classifier(weights, classifier) -> None:
 def load_pipeline(
     directory: str | pathlib.Path, config: MetaSQLConfig | None = None
 ) -> MetaSQL:
-    """Restore a pipeline saved by :func:`save_pipeline`."""
+    """Restore a pipeline saved by :func:`save_pipeline`.
+
+    The checkpoint is verified (format version, per-file checksums)
+    before any component is restored, and any failure while restoring is
+    wrapped, so the only outcomes are a fully restored pipeline or a
+    typed :class:`CheckpointError` — never a partial load.
+    """
     root = pathlib.Path(directory)
-    manifest = json.loads((root / "manifest.json").read_text())
-    if manifest["version"] != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported pipeline format version {manifest['version']}"
-        )
-    weights = np.load(root / "weights.npz")
+    manifest = verify_checkpoint(root)
+    try:
+        return _restore_pipeline(root, manifest, config)
+    except CheckpointError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — typed-error boundary
+        raise CheckpointCorrupt(
+            f"checkpoint at {root} could not be restored: {exc!r}", path=root
+        ) from exc
+
+
+def _restore_pipeline(
+    root: pathlib.Path, manifest: dict, config: MetaSQLConfig | None
+) -> MetaSQL:
+    # Eagerly materialise the arrays so the archive handle is closed
+    # before any component restore runs (no file-handle leak).
+    with np.load(root / "weights.npz") as archive:
+        weights = {name: archive[name] for name in archive.files}
 
     model = MODEL_PRESETS[manifest["model_name"]]()
     model_state = json.loads((root / "model.json").read_text())

@@ -52,9 +52,13 @@ from repro.core.rank_stage2 import (
     Stage2Config,
 )
 from repro.core.resilience import (
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
     DegradationPolicy,
     FaultRecord,
     TranslationReport,
+    current_deadline,
     guarded_call,
 )
 from repro.core.similarity import similarity_score, similarity_unit
@@ -129,6 +133,7 @@ class MetaSQL:
     _stage1_ok = True
     _stage2_ok = True
     last_report: TranslationReport | None = None
+    breakers: BreakerBoard | None = None
 
     def __init__(
         self,
@@ -150,6 +155,7 @@ class MetaSQL:
         self.stage1 = DualTowerRanker(self.config.stage1)
         self.stage2 = MultiGrainedRanker(stage2_config)
         self._trained = False
+        self.breakers = self.config.resilience.make_breakers()
         # "Not known broken": a restored pipeline (persist.load_pipeline)
         # keeps these True; a guarded training failure flips them so
         # inference degrades instead of raising.
@@ -354,6 +360,27 @@ class MetaSQL:
     # ------------------------------------------------------------------
     # Inference.
 
+    def _breaker(self, stage: str) -> CircuitBreaker | None:
+        board = self.breakers
+        return board.get(stage) if board is not None else None
+
+    @staticmethod
+    def _deadline_expired(
+        deadline: Deadline | None,
+        report: TranslationReport,
+        stage: str,
+        fallback: str,
+    ) -> bool:
+        """Cooperative deadline checkpoint at one stage boundary.
+
+        Records the expiry (once — callers return immediately) with the
+        *fallback* label describing what the translation degrades to.
+        """
+        if deadline is None or not deadline.expired():
+            return False
+        report.record_deadline(deadline, stage, fallback)
+        return True
+
     def _compositions_for(
         self, question: str, db: Database
     ) -> list[QueryMetadata]:
@@ -400,6 +427,7 @@ class MetaSQL:
                 report,
                 fallback="all-compositions",
                 site="classifier.predict",
+                breaker=self._breaker("classify"),
             )
             if ok:
                 tags, ratings = predicted
@@ -410,6 +438,7 @@ class MetaSQL:
                     report,
                     fallback="all-compositions",
                     site="compose",
+                    breaker=self._breaker("compose"),
                 )
                 if ok:
                     if compositions:
@@ -432,6 +461,7 @@ class MetaSQL:
             policy,
             report,
             fallback="unconditioned",
+            breaker=self._breaker("compose"),
         )
         return compositions if ok else []
 
@@ -459,6 +489,7 @@ class MetaSQL:
         question: str,
         db: Database,
         compositions: list[QueryMetadata] | None = None,
+        deadline: Deadline | None = None,
     ) -> RankedResult:
         """Two-stage ranking with fault isolation and a resilience report.
 
@@ -467,6 +498,14 @@ class MetaSQL:
         degradation chain, and shows up as a :class:`FaultRecord` in the
         returned report.  Only lifecycle misuse (untrained pipeline)
         raises.
+
+        A *deadline* (explicit, or ambient via
+        :func:`repro.core.resilience.deadline_scope`) is checked
+        cooperatively at every stage boundary; once expired the
+        translation degrades to the best answer produced so far —
+        stage-1 ordering if stage-1 ran, generation order if only the
+        generator ran, empty otherwise — with the expiry recorded on the
+        report (``deadline_budget`` / ``deadline_stage``).
         """
         if not self._trained:
             raise PipelineStateError(
@@ -474,12 +513,20 @@ class MetaSQL:
                 "load_pipeline() before translating"
             )
         policy = self.config.resilience
+        if deadline is None:
+            deadline = current_deadline()
         report = TranslationReport(question=question)
+        if deadline is not None:
+            report.deadline_budget = deadline.budget
         self.last_report = report
+        if self._deadline_expired(deadline, report, "classify", "empty"):
+            return RankedResult([], report)
         if compositions is None:
             compositions = self._compositions_guarded(
                 question, db, policy, report
             )
+        if self._deadline_expired(deadline, report, "generate", "empty"):
+            return RankedResult([], report)
         ok, generated = guarded_call(
             "generate",
             lambda: self.generator.generate(
@@ -489,6 +536,7 @@ class MetaSQL:
             report,
             fallback="empty",
             site="generator.generate",
+            breaker=self._breaker("generate"),
         )
         if not ok or not generated:
             return RankedResult([], report)
@@ -512,23 +560,55 @@ class MetaSQL:
             return RankedResult([], report)
         generated = kept
 
-        pruned = self._stage1_pruned(question, surfaces, policy, report)
-        if pruned is None:
-            if not policy.stage1_fallback:
-                return RankedResult([], report)
+        def generation_order() -> list[tuple[int, float]]:
             # Generation order: the base model's own beam scores.
             order = sorted(
                 range(len(generated)), key=lambda i: -generated[i].score
             )
-            pruned = [
+            return [
                 (i, generated[i].score)
                 for i in order[: self.config.first_stage_top]
             ]
+
+        if self._deadline_expired(
+            deadline, report, "stage1", "generation-order"
+        ):
+            return RankedResult(
+                self._ranked_from_pruned(generated, generation_order()),
+                report,
+            )
+
+        pruned = self._stage1_pruned(question, surfaces, policy, report)
+        if pruned is None:
+            if not policy.stage1_fallback:
+                return RankedResult([], report)
+            pruned = generation_order()
+
+        if self._deadline_expired(deadline, report, "stage2", "stage1-order"):
+            return RankedResult(
+                self._ranked_from_pruned(generated, pruned), report
+            )
 
         ranked = self._stage2_ranked(
             question, generated, surfaces, pruned, schema, policy, report
         )
         return RankedResult(ranked, report)
+
+    @staticmethod
+    def _ranked_from_pruned(
+        generated: list[GeneratedCandidate],
+        pruned: list[tuple[int, float]],
+    ) -> list[RankedTranslation]:
+        """Degraded output: the pruned ordering stands in for stage 2."""
+        return [
+            RankedTranslation(
+                query=generated[index].query,
+                stage1_score=stage1_score,
+                stage2_score=stage1_score,
+                metadata=generated[index].metadata,
+            )
+            for index, stage1_score in pruned
+        ]
 
     def _stage1_pruned(
         self,
@@ -557,6 +637,7 @@ class MetaSQL:
             report,
             fallback="generation-order",
             site="stage1.rank",
+            breaker=self._breaker("stage1"),
         )
         return pruned if ok else None
 
@@ -596,6 +677,7 @@ class MetaSQL:
                     report,
                     fallback="stage1-order",
                     site="stage2.rank",
+                    breaker=self._breaker("stage2"),
                 )
                 if ok:
                     ranked = []
@@ -622,21 +704,14 @@ class MetaSQL:
                     fallback="stage1-order",
                 )
             )
-        return [
-            RankedTranslation(
-                query=generated[index].query,
-                stage1_score=stage1_score,
-                stage2_score=stage1_score,
-                metadata=generated[index].metadata,
-            )
-            for index, stage1_score in pruned
-        ]
+        return self._ranked_from_pruned(generated, pruned)
 
     def translate_ranked(
         self,
         question: str,
         db: Database,
         compositions: list[QueryMetadata] | None = None,
+        deadline: Deadline | None = None,
     ) -> list[RankedTranslation]:
         """Full two-stage ranking; returns translations best-first.
 
@@ -644,16 +719,21 @@ class MetaSQL:
         use :meth:`translate_ranked_report` to get it alongside the list.
         """
         return self.translate_ranked_report(
-            question, db, compositions
+            question, db, compositions, deadline=deadline
         ).translations
 
-    def translate(self, question: str, db: Database) -> Query | None:
+    def translate(
+        self,
+        question: str,
+        db: Database,
+        deadline: Deadline | None = None,
+    ) -> Query | None:
         """Best translation for *question*, or None.
 
         Degrades rather than raises on stage faults: the report on
         ``last_report`` records anything that was absorbed.
         """
-        result = self.translate_ranked_report(question, db)
+        result = self.translate_ranked_report(question, db, deadline=deadline)
         if not result.translations:
             return None
         return result.translations[0].query

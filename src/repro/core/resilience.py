@@ -26,11 +26,14 @@ in :mod:`repro.sqlkit.errors`) so low-level modules such as
 
 from __future__ import annotations
 
+import threading
+import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.sqlkit.errors import PipelineError, StageError
+from repro.sqlkit.errors import DeadlineExceeded, PipelineError, StageError
 
 #: Named injection sites, one per guarded pipeline stage.  ``fire(site)``
 #: is called at the entry of the corresponding function.
@@ -42,6 +45,9 @@ FAILPOINTS: tuple[str, ...] = (
     "stage1.rank",
     "stage2.rank",
     "executor.execute",
+    "persist.save",
+    "persist.finalize",
+    "serve.handle",
 )
 
 
@@ -164,6 +170,227 @@ def fire(site: str) -> None:
 
 
 # ----------------------------------------------------------------------
+# Deadlines: cooperative per-request time budgets.
+
+
+class Deadline:
+    """A per-request time budget, checked cooperatively between stages.
+
+    The pipeline never pre-empts a running stage; instead it consults the
+    deadline at the stage boundaries (classify -> compose -> generate ->
+    stage-1 -> stage-2) and, once expired, degrades to the best answer
+    produced so far.  The clock is injectable so tests can drive expiry
+    deterministically; production uses :func:`time.monotonic`.
+    """
+
+    __slots__ = ("budget", "_clock", "_started")
+
+    def __init__(
+        self,
+        budget: float,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.budget = float(budget)
+        self._clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
+
+    def elapsed(self) -> float:
+        """Seconds spent since the deadline was created."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (negative once expired)."""
+        return self.budget - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is exhausted."""
+        if self.expired():
+            raise DeadlineExceeded(stage, self.budget, self.elapsed())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget={self.budget:.3f}, "
+            f"remaining={self.remaining():.3f})"
+        )
+
+
+#: Ambient deadline, mirroring the executor's ambient ExecutionBudget:
+#: the serving layer installs it once per request and every pipeline
+#: entered under the scope observes it without plumbing changes.
+_DEADLINE: ContextVar[Deadline | None] = ContextVar(
+    "metasql_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient :class:`Deadline` for this context, if any."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Install *deadline* as the ambient deadline for the ``with`` body."""
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Circuit breakers: skip persistently failing stages until a probe
+# succeeds.
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one pipeline stage.
+
+    - **closed** — calls pass through; ``threshold`` *consecutive*
+      terminal faults (transient faults absorbed by retry count as
+      recoveries, per the PR-1 taxonomy) trip the breaker open.
+    - **open** — calls are refused (``allow() is False``) so the stage's
+      existing degradation fallback applies without paying for the call;
+      after ``cooldown`` seconds the next ``allow()`` admits one probe.
+    - **half-open** — exactly one probe is in flight; its success closes
+      the breaker, its failure re-opens it for another cooldown.
+
+    Thread-safe (the serving layer shares one pipeline across workers)
+    and clock-injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("breaker threshold must be positive")
+        self.stage = stage
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0  # consecutive terminal faults while closed
+        self._opened_at = 0.0
+        self._probing = False
+        self._opened_total = 0  # times tripped, for health snapshots
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the open -> half-open transition."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = "half-open"
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (admits half-open probes)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A guarded call (or probe) succeeded: close and reset."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A guarded call failed terminally: count, maybe trip open."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "half-open":
+                self._trip_locked()
+                return
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probing = False
+        self._opened_total += 1
+
+    def reset(self) -> None:
+        """Force the breaker closed (operator override)."""
+        self.record_success()
+
+    def snapshot(self) -> dict:
+        """State for health endpoints: no locks held by the caller."""
+        with self._lock:
+            return {
+                "stage": self.stage,
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "times_opened": self._opened_total,
+            }
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per guarded pipeline stage."""
+
+    #: The inference stages a pipeline guards with breakers.
+    STAGES: tuple[str, ...] = (
+        "classify",
+        "compose",
+        "generate",
+        "stage1",
+        "stage2",
+    )
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] | None = None,
+        stages: tuple[str, ...] | None = None,
+    ) -> None:
+        self._breakers = {
+            stage: CircuitBreaker(
+                stage, threshold=threshold, cooldown=cooldown, clock=clock
+            )
+            for stage in (stages or self.STAGES)
+        }
+
+    def get(self, stage: str) -> CircuitBreaker | None:
+        return self._breakers.get(stage)
+
+    def __getitem__(self, stage: str) -> CircuitBreaker:
+        return self._breakers[stage]
+
+    def reset(self) -> None:
+        for breaker in self._breakers.values():
+            breaker.reset()
+
+    def states(self) -> dict[str, str]:
+        return {s: b.state for s, b in self._breakers.items()}
+
+    def snapshot(self) -> dict[str, dict]:
+        return {s: b.snapshot() for s, b in self._breakers.items()}
+
+
+# ----------------------------------------------------------------------
 # Degradation policy and observability.
 
 
@@ -183,6 +410,25 @@ class DegradationPolicy:
     stage1_fallback: bool = True  # -> generation order
     stage2_fallback: bool = True  # -> stage-1 ordering
     isolate_candidates: bool = True  # skip, never abort, on candidate errors
+    #: Consecutive terminal faults before a stage's breaker opens
+    #: (0 disables breakers entirely).
+    breaker_threshold: int = 5
+    #: Seconds an open breaker waits before admitting a half-open probe.
+    breaker_cooldown: float = 30.0
+    #: Injectable clock for the breakers (tests); None -> time.monotonic.
+    breaker_clock: Callable[[], float] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def make_breakers(self) -> BreakerBoard | None:
+        """The per-stage breaker board this policy prescribes, if any."""
+        if self.breaker_threshold <= 0:
+            return None
+        return BreakerBoard(
+            threshold=self.breaker_threshold,
+            cooldown=self.breaker_cooldown,
+            clock=self.breaker_clock,
+        )
 
 
 @dataclass(frozen=True)
@@ -196,6 +442,7 @@ class FaultRecord:
     candidate: int | None = None  # candidate index for isolated faults
     retries: int = 0  # retries consumed before this record
     fallback: str | None = None  # degradation applied ("retry" = recovered)
+    transient: bool = False  # taxonomy class: retryable at a higher level
 
 
 @dataclass
@@ -204,6 +451,15 @@ class TranslationReport:
 
     question: str = ""
     faults: list[FaultRecord] = field(default_factory=list)
+    #: The request's time budget in seconds, when one was attached.
+    deadline_budget: float | None = None
+    #: The stage boundary at which expiry was observed, when it was.
+    deadline_stage: str | None = None
+
+    @property
+    def deadline_expired(self) -> bool:
+        """True when the translation was cut short by its deadline."""
+        return self.deadline_stage is not None
 
     @property
     def degraded(self) -> bool:
@@ -244,6 +500,29 @@ class TranslationReport:
             candidate=candidate,
             retries=retries,
             fallback=fallback,
+            transient=is_transient(exc),
+        )
+        self.record(record)
+        return record
+
+    def record_deadline(
+        self, deadline: Deadline, stage: str, fallback: str
+    ) -> FaultRecord:
+        """Record a deadline expiry observed at *stage* (recorded once).
+
+        The *fallback* label says what the pipeline degraded to: the
+        best answer produced so far.
+        """
+        self.deadline_budget = deadline.budget
+        self.deadline_stage = stage
+        record = FaultRecord(
+            stage=stage,
+            error_type="DeadlineExceeded",
+            error=(
+                f"deadline of {deadline.budget:.3f}s exceeded "
+                f"(elapsed {deadline.elapsed():.3f}s)"
+            ),
+            fallback=fallback,
         )
         self.record(record)
         return record
@@ -274,6 +553,7 @@ def guarded_call(
     report: TranslationReport,
     fallback: str | None = None,
     site: str | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> tuple[bool, object]:
     """Run *fn* with bounded retries for transient faults.
 
@@ -282,7 +562,25 @@ def guarded_call(
     recording the terminal fault with the *fallback* label the caller is
     about to apply.  Only :class:`Exception` is absorbed; interrupts and
     system exits propagate.
+
+    When a *breaker* is supplied the call first asks it for admission: an
+    open breaker short-circuits to ``(False, None)`` with a
+    ``BreakerOpen`` fault record (the caller's fallback applies without
+    paying for a doomed call), a terminal fault feeds
+    :meth:`CircuitBreaker.record_failure`, and a success — including a
+    retry that absorbed transient faults — feeds ``record_success``.
     """
+    if breaker is not None and not breaker.allow():
+        report.record(
+            FaultRecord(
+                stage=stage,
+                error_type="BreakerOpen",
+                error=f"circuit breaker open for stage {stage!r}",
+                site=site,
+                fallback=fallback,
+            )
+        )
+        return False, None
     last_exc: BaseException | None = None
     for attempt in range(policy.max_retries + 1):
         try:
@@ -294,11 +592,15 @@ def guarded_call(
             report.record_exception(
                 stage, exc, site=site, retries=attempt, fallback=fallback
             )
+            if breaker is not None:
+                breaker.record_failure()
             return False, None
         if attempt and last_exc is not None:
             report.record_exception(
                 stage, last_exc, site=site, retries=attempt, fallback="retry"
             )
+        if breaker is not None:
+            breaker.record_success()
         return True, value
     # Unreachable: the loop always returns.
     raise StageError(stage, "retry loop exited without a result")

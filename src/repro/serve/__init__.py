@@ -1,0 +1,23 @@
+"""Serving + durability layer: the production shell around the pipeline.
+
+- :class:`TranslationService` — bounded work queue, worker pool,
+  admission control (typed ``Overloaded`` shedding), per-request
+  deadlines, transient-fault retry with jittered backoff, and a
+  health/readiness snapshot.
+- :class:`CheckpointStore` — rotating crash-safe checkpoints with
+  last-good recovery, for warm-starting a service after a crash.
+"""
+
+from repro.serve.checkpoint import CheckpointStore
+from repro.serve.service import (
+    HealthSnapshot,
+    ServiceConfig,
+    TranslationService,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "HealthSnapshot",
+    "ServiceConfig",
+    "TranslationService",
+]

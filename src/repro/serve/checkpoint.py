@@ -1,0 +1,132 @@
+"""Rotating checkpoint store with last-good recovery.
+
+:class:`CheckpointStore` manages a directory of numbered pipeline
+snapshots (``ckpt-00000001``, ``ckpt-00000002``, ...) plus an atomically
+updated ``LATEST`` pointer file.  Each snapshot is written with the
+crash-safe :func:`repro.core.persist.save_pipeline` (staged + renamed,
+checksummed manifest), so the store's recovery walk is simple: try the
+pointer's snapshot, then every older snapshot newest-first, skipping
+anything :func:`~repro.core.persist.load_pipeline` rejects as corrupt —
+a process crash mid-save or a bit-flipped file costs one snapshot, not
+the service.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import shutil
+
+from repro.core.persist import load_pipeline, save_pipeline
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.sqlkit.errors import CheckpointError
+
+_SNAPSHOT = re.compile(r"^ckpt-(\d{8})$")
+_LATEST = "LATEST"
+
+
+class CheckpointStore:
+    """Keep the last *keep* good checkpoints of a pipeline under *root*."""
+
+    def __init__(self, root: str | pathlib.Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("a checkpoint store must keep at least one")
+        self.root = pathlib.Path(root)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Inspection.
+
+    def snapshots(self) -> list[pathlib.Path]:
+        """Snapshot directories, oldest first."""
+        if not self.root.is_dir():
+            return []
+        found = [
+            path
+            for path in self.root.iterdir()
+            if path.is_dir() and _SNAPSHOT.match(path.name)
+        ]
+        return sorted(found, key=lambda path: path.name)
+
+    def latest(self) -> pathlib.Path | None:
+        """The pointer's snapshot, or the newest on disk as a fallback."""
+        pointer = self.root / _LATEST
+        if pointer.is_file():
+            name = pointer.read_text().strip()
+            candidate = self.root / name
+            if _SNAPSHOT.match(name) and candidate.is_dir():
+                return candidate
+        snapshots = self.snapshots()
+        return snapshots[-1] if snapshots else None
+
+    # ------------------------------------------------------------------
+    # Writing.
+
+    def save(self, pipeline: MetaSQL) -> pathlib.Path:
+        """Write a new snapshot, advance ``LATEST``, prune old ones."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        snapshots = self.snapshots()
+        if snapshots:
+            last_index = int(_SNAPSHOT.match(snapshots[-1].name).group(1))
+        else:
+            last_index = 0
+        path = self.root / f"ckpt-{last_index + 1:08d}"
+        save_pipeline(pipeline, path)
+        self._write_pointer(path.name)
+        self._prune(keep_name=path.name)
+        return path
+
+    def _write_pointer(self, name: str) -> None:
+        pointer = self.root / _LATEST
+        staged = self.root / f".{_LATEST}.tmp"
+        with open(staged, "w") as handle:
+            handle.write(name + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staged, pointer)
+
+    def _prune(self, keep_name: str) -> None:
+        snapshots = self.snapshots()
+        excess = len(snapshots) - self.keep
+        for path in snapshots[:excess] if excess > 0 else []:
+            if path.name != keep_name:
+                shutil.rmtree(path, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Recovery.
+
+    def load_latest(
+        self, config: MetaSQLConfig | None = None
+    ) -> MetaSQL:
+        """Restore the last *good* checkpoint.
+
+        Tries the ``LATEST`` pointer first, then every remaining
+        snapshot newest-first; snapshots that fail verification
+        (truncated, bit-flipped, torn) are skipped.  Raises
+        :class:`CheckpointError` only when no snapshot loads.
+        """
+        tried: list[tuple[str, str]] = []
+        for path in self._recovery_order():
+            try:
+                return load_pipeline(path, config)
+            except CheckpointError as exc:
+                tried.append((path.name, str(exc)))
+        detail = (
+            "; ".join(f"{name}: {why}" for name, why in tried)
+            or "store is empty"
+        )
+        raise CheckpointError(
+            f"no loadable checkpoint under {self.root} ({detail})",
+            path=self.root,
+        )
+
+    def _recovery_order(self) -> list[pathlib.Path]:
+        ordered: list[pathlib.Path] = []
+        pointer = self.latest()
+        if pointer is not None:
+            ordered.append(pointer)
+        for path in reversed(self.snapshots()):
+            if path not in ordered:
+                ordered.append(path)
+        return ordered

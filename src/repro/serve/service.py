@@ -1,0 +1,341 @@
+"""A hardened serving front-end for trained MetaSQL pipelines.
+
+:class:`TranslationService` puts the production controls the ROADMAP's
+heavy-traffic north star needs *around* the pipeline's per-translation
+fault isolation (PR 1):
+
+- **Admission control** — a bounded work queue; when it is full the
+  submit path sheds load immediately with a typed
+  :class:`~repro.sqlkit.errors.Overloaded` instead of queueing
+  unboundedly, while already-admitted requests keep draining.
+- **Deadline budgets** — every request carries a
+  :class:`~repro.core.resilience.Deadline` (explicit or the configured
+  default), installed ambiently via
+  :func:`~repro.core.resilience.deadline_scope` so the pipeline's
+  cooperative stage-boundary checkpoints observe it and degrade an
+  expired request to the best answer produced so far.
+- **Retry with jittered backoff** — a request whose translation came
+  back empty because of a *transient* terminal fault (per the PR-1
+  taxonomy) is retried a bounded number of times with full-jitter
+  exponential backoff, deadline permitting.
+- **Health/readiness** — :meth:`TranslationService.health` snapshots
+  queue depth, per-stage circuit-breaker states, counters, and the
+  rolling degraded-rate (same notion as ``EvalResult.degraded_rate``).
+
+The service is deliberately synchronous-thread-pool shaped: the pipeline
+is pure CPU-bound Python/numpy, so a small worker pool bounded by a
+queue is the honest concurrency model.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import queue
+import random
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import MetaSQL, RankedResult
+from repro.core.resilience import (
+    Deadline,
+    TranslationReport,
+    deadline_scope,
+    fire,
+)
+from repro.eval.evaluate import reports_degraded_rate
+from repro.schema.database import Database
+from repro.sqlkit.errors import Overloaded, ServiceStopped
+
+
+@dataclass
+class ServiceConfig:
+    """Serving knobs (all deterministic-testable via injectable hooks)."""
+
+    workers: int = 2
+    queue_limit: int = 16
+    #: Per-request time budget in seconds applied when the caller does
+    #: not pass an explicit Deadline; None disables default deadlines.
+    default_deadline: float | None = None
+    #: Service-level retries for transient-fault translations.
+    max_retries: int = 2
+    backoff_base: float = 0.05  # first backoff upper bound, seconds
+    backoff_cap: float = 2.0  # backoff upper bound ceiling, seconds
+    #: Seed for the jitter RNG; None draws a fresh seed per service.
+    jitter_seed: int | None = None
+    #: How many recent reports the rolling degraded-rate covers.
+    health_window: int = 256
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """Point-in-time service health for readiness/liveness endpoints."""
+
+    accepting: bool
+    queue_depth: int
+    queue_capacity: int
+    workers: int
+    in_flight: int
+    completed: int
+    rejected: int
+    retried: int
+    failed: int
+    degraded_rate: float
+    deadline_expired: int
+    breakers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ready(self) -> bool:
+        """Whether a new request would currently be admitted."""
+        return self.accepting and self.queue_depth < self.queue_capacity
+
+
+@dataclass
+class _Job:
+    question: str
+    db: Database
+    deadline: Deadline | None
+    future: Future
+
+
+#: Queue sentinel that tells a worker to exit its loop.
+_SHUTDOWN = object()
+
+
+class TranslationService:
+    """Bounded-queue, deadline-aware front-end around one pipeline.
+
+    >>> service = TranslationService(pipeline, ServiceConfig(workers=4))
+    >>> result = service.translate("How many heads are older than 56?", db)
+    >>> service.health().ready
+    True
+
+    The pipeline object is shared across workers; its stages are
+    stateless at inference time and its breaker board is thread-safe.
+    """
+
+    def __init__(
+        self,
+        pipeline: MetaSQL,
+        config: ServiceConfig | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config or ServiceConfig()
+        if self.config.workers <= 0:
+            raise ValueError("service needs at least one worker")
+        if self.config.queue_limit <= 0:
+            raise ValueError("service needs a positive queue limit")
+        self._sleep = sleep
+        self._rng = random.Random(self.config.jitter_seed)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._in_flight = 0
+        self._completed = 0
+        self._rejected = 0
+        self._retried = 0
+        self._failed = 0
+        self._deadline_expired = 0
+        self._recent_reports: deque[TranslationReport] = deque(
+            maxlen=self.config.health_window
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"metasql-serve-{index}",
+                daemon=True,
+            )
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission (admission control).
+
+    def submit(
+        self,
+        question: str,
+        db: Database,
+        deadline: Deadline | float | None = None,
+    ) -> "Future[RankedResult]":
+        """Admit a translation request; returns a Future of RankedResult.
+
+        Raises :class:`Overloaded` when the work queue is full (shed
+        load; the caller may retry after backoff) and
+        :class:`ServiceStopped` after :meth:`shutdown`.
+        """
+        if not self._accepting:
+            raise ServiceStopped("translation service is shut down")
+        if deadline is None:
+            if self.config.default_deadline is not None:
+                deadline = Deadline(self.config.default_deadline)
+        elif not isinstance(deadline, Deadline):
+            deadline = Deadline(float(deadline))
+        future: Future = Future()
+        job = _Job(question=question, db=db, deadline=deadline, future=future)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            raise Overloaded(
+                self._queue.qsize(), self.config.queue_limit
+            ) from None
+        return future
+
+    def translate(
+        self,
+        question: str,
+        db: Database,
+        deadline: Deadline | float | None = None,
+        timeout: float | None = None,
+    ) -> RankedResult:
+        """Synchronous submit + wait (the simple-client entry point)."""
+        return self.submit(question, db, deadline).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Workers.
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is _SHUTDOWN:
+                    return
+                if not job.future.set_running_or_notify_cancel():
+                    continue
+                with self._lock:
+                    self._in_flight += 1
+                try:
+                    result = self._handle(job)
+                except BaseException as exc:  # noqa: BLE001 — to the future
+                    with self._lock:
+                        self._failed += 1
+                        self._in_flight -= 1
+                    job.future.set_exception(exc)
+                else:
+                    with self._lock:
+                        self._completed += 1
+                        self._in_flight -= 1
+                    job.future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def _handle(self, job: _Job) -> RankedResult:
+        fire("serve.handle")
+        attempt = 0
+        while True:
+            with deadline_scope(job.deadline):
+                result = self.pipeline.translate_ranked_report(
+                    job.question, job.db
+                )
+            self._observe(result.report)
+            if (
+                self._retryable(result)
+                and attempt < self.config.max_retries
+                and not self._deadline_over(job.deadline)
+            ):
+                with self._lock:
+                    self._retried += 1
+                self._sleep(self._backoff(attempt))
+                attempt += 1
+                continue
+            return result
+
+    @staticmethod
+    def _retryable(result: RankedResult) -> bool:
+        """An empty answer caused by a transient terminal fault."""
+        if result.translations:
+            return False
+        return any(
+            record.transient and record.fallback != "retry"
+            for record in result.report.faults
+        )
+
+    @staticmethod
+    def _deadline_over(deadline: Deadline | None) -> bool:
+        return deadline is not None and deadline.expired()
+
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter exponential backoff (AWS-style)."""
+        ceiling = min(
+            self.config.backoff_cap, self.config.backoff_base * (2**attempt)
+        )
+        return self._rng.uniform(0.0, ceiling)
+
+    def _observe(self, report: TranslationReport) -> None:
+        with self._lock:
+            self._recent_reports.append(report)
+            if report.deadline_expired:
+                self._deadline_expired += 1
+
+    # ------------------------------------------------------------------
+    # Health and lifecycle.
+
+    def health(self) -> HealthSnapshot:
+        """Snapshot queue, counters, breakers, rolling degraded-rate."""
+        board = self.pipeline.breakers
+        with self._lock:
+            return HealthSnapshot(
+                accepting=self._accepting,
+                queue_depth=self._queue.qsize(),
+                queue_capacity=self.config.queue_limit,
+                workers=len(self._workers),
+                in_flight=self._in_flight,
+                completed=self._completed,
+                rejected=self._rejected,
+                retried=self._retried,
+                failed=self._failed,
+                degraded_rate=reports_degraded_rate(self._recent_reports),
+                deadline_expired=self._deadline_expired,
+                breakers=board.states() if board is not None else {},
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting; drain admitted requests; stop the workers."""
+        if not self._accepting:
+            return
+        self._accepting = False
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "TranslationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Recovery.
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        source: str | pathlib.Path,
+        config: ServiceConfig | None = None,
+        pipeline_config=None,
+    ) -> "TranslationService":
+        """Warm-start a service from durable state.
+
+        *source* is either one checkpoint directory (as written by
+        :func:`repro.core.persist.save_pipeline`) or the root of a
+        :class:`repro.serve.checkpoint.CheckpointStore`, in which case
+        the last *good* checkpoint is used — corrupt or torn snapshots
+        are skipped.
+        """
+        from repro.core.persist import load_pipeline
+        from repro.serve.checkpoint import CheckpointStore
+
+        root = pathlib.Path(source)
+        if (root / "manifest.json").is_file():
+            pipeline = load_pipeline(root, pipeline_config)
+        else:
+            pipeline = CheckpointStore(root).load_latest(pipeline_config)
+        return cls(pipeline, config)

@@ -89,3 +89,100 @@ class TransientError(PipelineError):
     """
 
     transient = True
+
+
+class DeadlineExceeded(PipelineError):
+    """A request's time budget ran out at a cooperative checkpoint.
+
+    Not transient: retrying an expired request inside the same deadline
+    cannot succeed.  The pipeline normally *absorbs* expiry (degrading to
+    the best answer produced so far); this type is raised only when a
+    caller asks a :class:`~repro.core.resilience.Deadline` to ``check()``
+    explicitly.
+    """
+
+    def __init__(self, stage: str, budget: float, elapsed: float) -> None:
+        super().__init__(
+            f"deadline of {budget:.3f}s exceeded at {stage!r} "
+            f"(elapsed {elapsed:.3f}s)"
+        )
+        self.stage = stage
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class BreakerOpen(StageError):
+    """A stage was skipped because its circuit breaker is open.
+
+    The resilience layer records this instead of invoking a stage that
+    has failed persistently; the stage's normal fallback applies until a
+    half-open probe succeeds.
+    """
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(stage, "circuit breaker open; stage skipped")
+
+
+# ----------------------------------------------------------------------
+# Serving-layer taxonomy (used by repro.serve).
+
+
+class ServiceError(PipelineError):
+    """Base class for errors raised by the translation serving layer."""
+
+
+class Overloaded(ServiceError):
+    """Admission control shed this request: the work queue is full.
+
+    Transient by design — the client may retry after backoff; the server
+    sheds instead of queueing unboundedly.
+    """
+
+    transient = True
+
+    def __init__(self, queue_depth: int, capacity: int) -> None:
+        super().__init__(
+            f"translation service overloaded "
+            f"(queue {queue_depth}/{capacity}); retry later"
+        )
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+class ServiceStopped(ServiceError, RuntimeError):
+    """A request was submitted to a service that has shut down."""
+
+
+# ----------------------------------------------------------------------
+# Checkpoint taxonomy (used by repro.core.persist / repro.serve).
+
+
+class CheckpointError(SqlError, ValueError):
+    """A pipeline checkpoint could not be written or restored.
+
+    Also a :class:`ValueError` for backward compatibility with callers
+    that caught the bare ``ValueError`` older ``load_pipeline`` versions
+    raised on a format-version mismatch.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint file is truncated, bit-flipped, or missing."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint was written by an incompatible format version."""
+
+    def __init__(self, found: int, supported: tuple[int, ...], path=None) -> None:
+        versions = ", ".join(str(v) for v in supported)
+        super().__init__(
+            f"unsupported pipeline format version {found} "
+            f"(supported: {versions})",
+            path=path,
+        )
+        self.found = found
+        self.supported = supported

@@ -1,18 +1,36 @@
-"""Pipeline persistence tests: save -> load -> identical translations."""
+"""Pipeline persistence tests: save -> load -> identical translations,
+plus the durability contract (checksums, typed corruption errors)."""
+
+import json
+import shutil
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.core.persist import load_pipeline, save_pipeline
+from repro.core.persist import (
+    CHECKPOINT_FILES,
+    load_pipeline,
+    save_pipeline,
+    verify_checkpoint,
+)
+from repro.sqlkit.errors import (
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointVersionError,
+    SqlError,
+)
 from repro.sqlkit.printer import to_sql
 
 
-class TestPersistence:
-    @pytest.fixture(scope="class")
-    def saved_dir(self, trained_pipeline, tmp_path_factory):
-        directory = tmp_path_factory.mktemp("pipeline")
-        save_pipeline(trained_pipeline, directory)
-        return directory
+@pytest.fixture(scope="module")
+def saved_dir(trained_pipeline, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("pipeline") / "ckpt"
+    save_pipeline(trained_pipeline, directory)
+    return directory
 
+
+class TestPersistence:
     def test_files_written(self, saved_dir):
         for name in (
             "manifest.json", "model.json", "classifier.json",
@@ -44,13 +62,131 @@ class TestPersistence:
         ) == trained_pipeline.classifier.predict(question, db)
 
     def test_version_check(self, saved_dir, tmp_path):
-        import json
-        import shutil
-
         copy = tmp_path / "bad"
         shutil.copytree(saved_dir, copy)
         manifest = json.loads((copy / "manifest.json").read_text())
         manifest["version"] = 999
         (copy / "manifest.json").write_text(json.dumps(manifest))
+        # Typed error, still a ValueError for pre-taxonomy callers.
         with pytest.raises(ValueError, match="version"):
             load_pipeline(copy)
+        with pytest.raises(CheckpointVersionError):
+            load_pipeline(copy)
+
+    def test_manifest_checksums_every_file(self, saved_dir):
+        manifest = verify_checkpoint(saved_dir)
+        assert set(manifest["files"]) == set(CHECKPOINT_FILES)
+        for entry in manifest["files"].values():
+            assert len(entry["sha256"]) == 64
+            assert entry["bytes"] > 0
+
+
+ALL_FILES = ("manifest.json",) + CHECKPOINT_FILES
+
+
+class TestCheckpointCorruption:
+    """Truncation, bit-flips and missing files raise typed errors —
+    never a partial load."""
+
+    @pytest.fixture()
+    def corruptible(self, saved_dir, tmp_path):
+        copy = tmp_path / "copy"
+        shutil.copytree(saved_dir, copy)
+        return copy
+
+    @pytest.mark.parametrize("name", ALL_FILES)
+    def test_truncated_file(self, corruptible, name):
+        path = corruptible / name
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_pipeline(corruptible)
+
+    @pytest.mark.parametrize("name", ALL_FILES)
+    def test_bit_flipped_file(self, corruptible, name):
+        path = corruptible / name
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            load_pipeline(corruptible)
+
+    @pytest.mark.parametrize("name", ALL_FILES)
+    def test_missing_file(self, corruptible, name):
+        (corruptible / name).unlink()
+        with pytest.raises(CheckpointError):
+            load_pipeline(corruptible)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(CheckpointCorrupt):
+            load_pipeline(tmp_path / "never-saved")
+
+    def test_corruption_errors_root_at_sql_error(self, corruptible):
+        (corruptible / "weights.npz").unlink()
+        with pytest.raises(SqlError):
+            load_pipeline(corruptible)
+
+
+class TestRoundTripProperty:
+    """Hypothesis: a restored pipeline translates identically."""
+
+    @pytest.fixture(scope="class")
+    def loaded(self, saved_dir):
+        return load_pipeline(saved_dir)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_translations_survive_round_trip(
+        self, data, loaded, trained_pipeline, tiny_benchmark
+    ):
+        dev = tiny_benchmark.dev
+        example = data.draw(st.sampled_from(dev.examples[:25]))
+        suffix = data.draw(
+            st.text(alphabet="abcdefgh o", max_size=12), label="suffix"
+        )
+        question = example.question + suffix
+        db = dev.database(example.db_id)
+        original = trained_pipeline.translate_ranked(question, db)
+        restored = loaded.translate_ranked(question, db)
+        assert [to_sql(r.query) for r in original] == [
+            to_sql(r.query) for r in restored
+        ]
+
+
+class TestLLMPoolRoundTrip:
+    """The FewShotLLM demonstration-pool path survives persistence."""
+
+    @pytest.fixture(scope="class")
+    def llm_pipeline(self, tiny_benchmark):
+        from repro.core.classifier import ClassifierConfig
+        from repro.core.pipeline import MetaSQL, MetaSQLConfig
+        from repro.models.registry import create_model
+
+        config = MetaSQLConfig(
+            ranker_train_questions=40,
+            classifier=ClassifierConfig(epochs=10),
+        )
+        pipe = MetaSQL(create_model("chatgpt"), config)
+        pipe.train(tiny_benchmark.train)
+        return pipe
+
+    def test_llm_round_trip(self, llm_pipeline, tiny_benchmark, tmp_path):
+        from repro.models.llm import FewShotLLM
+
+        target = tmp_path / "llm-ckpt"
+        save_pipeline(llm_pipeline, target)
+        loaded = load_pipeline(target)
+        assert isinstance(loaded.model, FewShotLLM)
+        assert len(loaded.model._pool) == len(llm_pipeline.model._pool)
+        dev = tiny_benchmark.dev
+        for example in dev.examples[:8]:
+            db = dev.database(example.db_id)
+            original = llm_pipeline.translate_ranked(example.question, db)
+            restored = loaded.translate_ranked(example.question, db)
+            assert [to_sql(r.query) for r in original] == [
+                to_sql(r.query) for r in restored
+            ]

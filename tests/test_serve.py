@@ -1,0 +1,719 @@
+"""Serving + durability layer tests: deadlines, breakers, admission
+control, retry/backoff, crash-safe checkpointing, warm-start recovery.
+
+Everything is deterministic: clocks are injected, jitter is seeded,
+faults come from the PR-1 ``FAULTS`` registry, and blocking jobs are
+gated on events rather than sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.persist import load_pipeline, save_pipeline
+from repro.core.pipeline import RankedResult, RankedTranslation
+from repro.core.resilience import (
+    FAULTS,
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    DegradationPolicy,
+    FaultRecord,
+    InjectedFault,
+    TranslationReport,
+    current_deadline,
+    deadline_scope,
+    guarded_call,
+)
+from repro.serve import CheckpointStore, ServiceConfig, TranslationService
+from repro.sqlkit.errors import (
+    CheckpointError,
+    DeadlineExceeded,
+    Overloaded,
+    ServiceStopped,
+)
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.printer import to_sql
+
+pytestmark = [pytest.mark.robustness, pytest.mark.serve]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for breakers and deadlines."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.t = start
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class SteppingClock:
+    """A clock that advances a fixed step on every read.
+
+    Lets a test place deadline expiry at an exact stage boundary: the
+    pipeline reads the clock once at Deadline creation and once per
+    cooperative checkpoint.
+    """
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def _ranked(sql: str = "SELECT name FROM country") -> RankedTranslation:
+    return RankedTranslation(
+        query=parse_sql(sql), stage1_score=1.0, stage2_score=1.0, metadata=None
+    )
+
+
+class StubPipeline:
+    """Duck-typed pipeline for service unit tests.
+
+    ``script`` is a list of behaviours consumed one per call:
+    ``"ok"`` returns one translation, ``"transient"``/``"fatal"`` return
+    an empty result with a terminal fault record of that taxonomy class,
+    ``"block"`` waits on :attr:`gate` first, then returns ok.
+    """
+
+    breakers = None
+
+    def __init__(self, script: list[str] | None = None) -> None:
+        self.script = list(script or [])
+        self.calls = 0
+        self.gate = threading.Event()
+        self.seen_deadlines: list[Deadline | None] = []
+
+    def translate_ranked_report(self, question, db, compositions=None):
+        self.calls += 1
+        self.seen_deadlines.append(current_deadline())
+        action = self.script.pop(0) if self.script else "ok"
+        report = TranslationReport(question=question)
+        if action == "block":
+            assert self.gate.wait(10), "test gate never opened"
+            action = "ok"
+        if action == "ok":
+            return RankedResult([_ranked()], report)
+        report.record(
+            FaultRecord(
+                stage="generate",
+                error_type="TransientError" if action == "transient" else "StageError",
+                error="injected by StubPipeline",
+                fallback="empty",
+                transient=(action == "transient"),
+            )
+        )
+        return RankedResult([], report)
+
+
+# ----------------------------------------------------------------------
+# Deadline primitive.
+
+
+class TestDeadline:
+    def test_expiry_math(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock.now)
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_check_raises_typed_error(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock.now)
+        deadline.check("stage1")  # not expired: no raise
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("stage1")
+        assert info.value.stage == "stage1"
+        assert info.value.budget == pytest.approx(1.0)
+
+    def test_ambient_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        deadline = Deadline(1.0)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            with deadline_scope(None):
+                assert current_deadline() is None
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+
+# ----------------------------------------------------------------------
+# Circuit-breaker state machine.
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("stage1", threshold=3, cooldown=30.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker("stage1", threshold=2, cooldown=30.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "stage1", threshold=1, cooldown=10.0, clock=clock.now
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent calls stay refused
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "stage1", threshold=1, cooldown=10.0, clock=clock.now
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_snapshot_counts_trips(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "stage2", threshold=1, cooldown=5.0, clock=clock.now
+        )
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["stage"] == "stage2"
+        assert snap["state"] == "open"
+        assert snap["times_opened"] == 1
+
+    def test_guarded_call_feeds_the_breaker(self):
+        policy = DegradationPolicy(max_retries=1)
+        report = TranslationReport(question="q")
+        breaker = CircuitBreaker("stage1", threshold=2, cooldown=30.0)
+
+        def boom():
+            raise ValueError("bad")
+
+        for _ in range(2):
+            ok, _ = guarded_call(
+                "stage1", boom, policy, report, fallback="skip", breaker=breaker
+            )
+            assert not ok
+        assert breaker.state == "open"
+        # Open breaker short-circuits: fn not called, BreakerOpen recorded.
+        ok, _ = guarded_call(
+            "stage1",
+            lambda: pytest.fail("must not be called"),
+            policy,
+            report,
+            fallback="skip",
+            breaker=breaker,
+        )
+        assert not ok
+        assert report.faults[-1].error_type == "BreakerOpen"
+
+    def test_transient_recovery_counts_as_success(self):
+        policy = DegradationPolicy(max_retries=2)
+        report = TranslationReport(question="q")
+        breaker = CircuitBreaker("stage1", threshold=1, cooldown=30.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise InjectedFault("stage1.rank", transient=True)
+            return "value"
+
+        ok, value = guarded_call(
+            "stage1", flaky, policy, report, fallback="skip", breaker=breaker
+        )
+        assert ok and value == "value"
+        assert breaker.state == "closed"
+
+
+# ----------------------------------------------------------------------
+# Breakers wired through the pipeline (acceptance: open after N faults,
+# recover through half-open).
+
+
+class TestPipelineBreakers:
+    @pytest.fixture()
+    def example_db(self, tiny_benchmark):
+        example = tiny_benchmark.dev.examples[0]
+        return example, tiny_benchmark.dev.database(example.db_id)
+
+    @pytest.fixture()
+    def fake_board(self, trained_pipeline):
+        """Swap a deterministic breaker board onto the shared pipeline."""
+        clock = FakeClock()
+        board = BreakerBoard(threshold=3, cooldown=30.0, clock=clock.now)
+        previous = trained_pipeline.breakers
+        trained_pipeline.breakers = board
+        yield board, clock
+        trained_pipeline.breakers = previous
+
+    def test_breaker_opens_skips_and_recovers(
+        self, trained_pipeline, example_db, fake_board
+    ):
+        example, db = example_db
+        board, clock = fake_board
+        FAULTS.arm("stage1.rank", times=None)
+        for _ in range(3):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+            assert "generation-order" in result.report.fallbacks()
+        assert board["stage1"].state == "open"
+        assert FAULTS.fired("stage1.rank") == 3
+
+        # Open: the stage is skipped outright (failpoint not even
+        # reached) and its existing fallback still produces an answer.
+        result = trained_pipeline.translate_ranked_report(example.question, db)
+        assert FAULTS.fired("stage1.rank") == 3
+        assert result.translations
+        assert any(
+            r.error_type == "BreakerOpen" and r.stage == "stage1"
+            for r in result.report.faults
+        )
+
+        # Recovery: cooldown elapses, the half-open probe succeeds (the
+        # fault is disarmed), the breaker closes again.
+        FAULTS.disarm("stage1.rank")
+        clock.advance(30.5)
+        assert board["stage1"].state == "half-open"
+        result = trained_pipeline.translate_ranked_report(example.question, db)
+        assert board["stage1"].state == "closed"
+        assert not result.report.stage_faults("stage1")
+
+    def test_failed_probe_reopens(
+        self, trained_pipeline, example_db, fake_board
+    ):
+        example, db = example_db
+        board, clock = fake_board
+        FAULTS.arm("stage1.rank", times=None)
+        for _ in range(3):
+            trained_pipeline.translate_ranked_report(example.question, db)
+        clock.advance(30.5)
+        # Probe runs against the still-armed fault and fails.
+        trained_pipeline.translate_ranked_report(example.question, db)
+        assert board["stage1"].state == "open"
+
+    def test_breakers_disabled_by_policy(self):
+        assert DegradationPolicy(breaker_threshold=0).make_breakers() is None
+
+
+# ----------------------------------------------------------------------
+# Deadline checkpoints through the pipeline (acceptance: expired
+# deadline -> degraded-but-valid RankedResult, deadline on the report).
+
+
+class TestPipelineDeadlines:
+    @pytest.fixture()
+    def example_db(self, tiny_benchmark):
+        example = tiny_benchmark.dev.examples[0]
+        return example, tiny_benchmark.dev.database(example.db_id)
+
+    def test_already_expired_returns_empty_with_record(
+        self, trained_pipeline, example_db
+    ):
+        example, db = example_db
+        result = trained_pipeline.translate_ranked_report(
+            example.question, db, deadline=Deadline(0.0)
+        )
+        assert result.translations == []
+        assert result.report.deadline_expired
+        assert result.report.deadline_stage == "classify"
+        assert result.report.deadline_budget == 0.0
+        assert result.report.degraded
+
+    def test_expiry_before_stage1_degrades_to_generation_order(
+        self, trained_pipeline, example_db
+    ):
+        example, db = example_db
+        # Clock reads: t=1 at Deadline creation, then one per boundary:
+        # classify (elapsed 1), generate (2), stage1 (3) -> expired.
+        deadline = Deadline(2.5, clock=SteppingClock(step=1.0))
+        with FAULTS.inject("stage1.rank", exc=AssertionError, times=None):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db, deadline=deadline
+            )
+        # Stage 1 was never invoked (the armed failpoint never fired),
+        # yet a ranked answer still came out of the generation order.
+        assert FAULTS.fired("stage1.rank") == 0
+        assert result.translations
+        assert result.report.deadline_stage == "stage1"
+        assert "generation-order" in result.report.fallbacks()
+        scores = [r.stage1_score for r in result.translations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_expiry_before_stage2_keeps_stage1_order(
+        self, trained_pipeline, example_db
+    ):
+        example, db = example_db
+        deadline = Deadline(3.5, clock=SteppingClock(step=1.0))
+        with FAULTS.inject("stage2.rank", exc=AssertionError, times=None):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db, deadline=deadline
+            )
+        assert FAULTS.fired("stage2.rank") == 0
+        assert result.translations
+        assert result.report.deadline_stage == "stage2"
+        assert all(
+            r.stage2_score == r.stage1_score for r in result.translations
+        )
+
+    def test_generous_deadline_changes_nothing(
+        self, trained_pipeline, example_db
+    ):
+        example, db = example_db
+        baseline = trained_pipeline.translate_ranked(example.question, db)
+        result = trained_pipeline.translate_ranked_report(
+            example.question, db, deadline=Deadline(3600.0)
+        )
+        assert not result.report.deadline_expired
+        assert not result.report.degraded
+        assert [to_sql(r.query) for r in result.translations] == [
+            to_sql(r.query) for r in baseline
+        ]
+
+    def test_ambient_deadline_is_observed(self, trained_pipeline, example_db):
+        example, db = example_db
+        with deadline_scope(Deadline(0.0)):
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        assert result.translations == []
+        assert result.report.deadline_expired
+
+
+# ----------------------------------------------------------------------
+# TranslationService: admission control, retries, health, lifecycle.
+
+
+class TestServiceAdmission:
+    def test_sheds_load_at_capacity_while_inflight_completes(self):
+        stub = StubPipeline(script=["block", "ok"])
+        service = TranslationService(
+            stub, ServiceConfig(workers=1, queue_limit=1, jitter_seed=0)
+        )
+        try:
+            first = service.submit("block", None)
+            deadline = time.monotonic() + 5.0
+            while stub.calls == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)  # wait for the worker to pick job 1 up
+            assert stub.calls == 1
+            second = service.submit("queued", None)
+            with pytest.raises(Overloaded) as info:
+                service.submit("rejected", None)
+            assert info.value.capacity == 1
+            assert service.health().rejected == 1
+            # The shed request did not disturb admitted work.
+            stub.gate.set()
+            assert first.result(timeout=5).translations
+            assert second.result(timeout=5).translations
+        finally:
+            stub.gate.set()
+            service.shutdown()
+
+    def test_rejects_after_shutdown(self):
+        service = TranslationService(
+            StubPipeline(), ServiceConfig(workers=1, queue_limit=2)
+        )
+        service.shutdown()
+        with pytest.raises(ServiceStopped):
+            service.submit("late", None)
+
+    def test_shutdown_drains_admitted_requests(self):
+        stub = StubPipeline()
+        service = TranslationService(
+            stub, ServiceConfig(workers=2, queue_limit=8)
+        )
+        futures = [service.submit(f"q{i}", None) for i in range(6)]
+        service.shutdown(wait=True)
+        assert all(f.result(timeout=1).translations for f in futures)
+        assert service.health().completed == 6
+
+
+class TestServiceRetry:
+    def _service(self, stub, max_retries=2):
+        sleeps: list[float] = []
+        service = TranslationService(
+            stub,
+            ServiceConfig(
+                workers=1,
+                queue_limit=4,
+                max_retries=max_retries,
+                backoff_base=0.05,
+                backoff_cap=2.0,
+                jitter_seed=7,
+            ),
+            sleep=sleeps.append,
+        )
+        return service, sleeps
+
+    def test_transient_empty_result_is_retried_with_backoff(self):
+        stub = StubPipeline(script=["transient", "transient", "ok"])
+        service, sleeps = self._service(stub)
+        try:
+            result = service.translate("q", None, timeout=5)
+            assert result.translations
+            assert stub.calls == 3
+            assert len(sleeps) == 2
+            assert 0.0 <= sleeps[0] <= 0.05  # full jitter in [0, base)
+            assert 0.0 <= sleeps[1] <= 0.10  # doubled ceiling
+            assert service.health().retried == 2
+        finally:
+            service.shutdown()
+
+    def test_fatal_empty_result_is_not_retried(self):
+        stub = StubPipeline(script=["fatal", "ok"])
+        service, sleeps = self._service(stub)
+        try:
+            result = service.translate("q", None, timeout=5)
+            assert result.translations == []
+            assert stub.calls == 1 and sleeps == []
+        finally:
+            service.shutdown()
+
+    def test_retries_stop_at_the_budget(self):
+        stub = StubPipeline(script=["transient"] * 10)
+        service, sleeps = self._service(stub, max_retries=2)
+        try:
+            result = service.translate("q", None, timeout=5)
+            assert result.translations == []
+            assert stub.calls == 3  # 1 + max_retries
+        finally:
+            service.shutdown()
+
+    def test_expired_deadline_suppresses_retry(self):
+        stub = StubPipeline(script=["transient", "ok"])
+        service, sleeps = self._service(stub)
+        try:
+            result = service.translate(
+                "q", None, deadline=Deadline(0.0), timeout=5
+            )
+            assert result.translations == []
+            assert stub.calls == 1 and sleeps == []
+        finally:
+            service.shutdown()
+
+
+class TestServiceHealth:
+    def test_deadline_is_installed_ambiently(self):
+        stub = StubPipeline()
+        service = TranslationService(
+            stub, ServiceConfig(workers=1, queue_limit=2, default_deadline=30.0)
+        )
+        try:
+            service.translate("q", None, timeout=5)
+            assert len(stub.seen_deadlines) == 1
+            assert stub.seen_deadlines[0] is not None
+            assert stub.seen_deadlines[0].budget == pytest.approx(30.0)
+        finally:
+            service.shutdown()
+
+    def test_snapshot_counters_and_degraded_rate(self):
+        stub = StubPipeline(script=["ok", "fatal"])
+        service = TranslationService(
+            stub, ServiceConfig(workers=1, queue_limit=4)
+        )
+        try:
+            service.translate("a", None, timeout=5)
+            service.translate("b", None, timeout=5)
+            health = service.health()
+            assert health.completed == 2
+            assert health.in_flight == 0
+            assert health.queue_depth == 0
+            assert health.degraded_rate == pytest.approx(0.5)
+            assert health.ready
+        finally:
+            service.shutdown()
+        assert not service.health().accepting
+
+    def test_breaker_states_surface_in_health(self, trained_pipeline):
+        service = TranslationService(
+            trained_pipeline, ServiceConfig(workers=1, queue_limit=2)
+        )
+        try:
+            breakers = service.health().breakers
+            assert breakers.get("stage1") == "closed"
+            assert set(breakers) == set(BreakerBoard.STAGES)
+        finally:
+            service.shutdown()
+
+
+class TestServiceEndToEnd:
+    def test_expired_deadline_returns_valid_degraded_result(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        service = TranslationService(
+            trained_pipeline, ServiceConfig(workers=1, queue_limit=2)
+        )
+        try:
+            result = service.translate(
+                example.question, db, deadline=Deadline(0.0), timeout=30
+            )
+            assert isinstance(result, RankedResult)
+            assert result.report.deadline_expired
+            assert result.report.deadline_budget == 0.0
+            assert service.health().deadline_expired == 1
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Crash-safe checkpointing (acceptance: interrupted save leaves the
+# previous checkpoint loadable) and warm-start recovery.
+
+
+def _ranked_sqls(pipeline, example, db):
+    return [
+        to_sql(r.query)
+        for r in pipeline.translate_ranked(example.question, db)
+    ]
+
+
+class TestCrashSafeCheckpointing:
+    @pytest.fixture()
+    def example_db(self, tiny_benchmark):
+        example = tiny_benchmark.dev.examples[0]
+        return example, tiny_benchmark.dev.database(example.db_id)
+
+    @pytest.mark.parametrize("site", ["persist.save", "persist.finalize"])
+    def test_interrupted_save_preserves_previous_checkpoint(
+        self, site, trained_pipeline, example_db, tmp_path
+    ):
+        example, db = example_db
+        target = tmp_path / "ckpt"
+        save_pipeline(trained_pipeline, target)
+        baseline = _ranked_sqls(load_pipeline(target), example, db)
+
+        with FAULTS.inject(site):
+            with pytest.raises(InjectedFault):
+                save_pipeline(trained_pipeline, target)
+
+        # The torn save left no staging litter and the previous
+        # checkpoint loads and translates exactly as before.
+        assert not (tmp_path / ".ckpt.staging").exists()
+        assert _ranked_sqls(load_pipeline(target), example, db) == baseline
+
+    def test_save_over_existing_checkpoint_replaces_it(
+        self, trained_pipeline, example_db, tmp_path
+    ):
+        example, db = example_db
+        target = tmp_path / "ckpt"
+        save_pipeline(trained_pipeline, target)
+        save_pipeline(trained_pipeline, target)  # idempotent overwrite
+        assert _ranked_sqls(
+            load_pipeline(target), example, db
+        ) == _ranked_sqls(trained_pipeline, example, db)
+
+
+class TestCheckpointStore:
+    def test_rotation_keeps_the_newest(self, trained_pipeline, tmp_path):
+        store = CheckpointStore(tmp_path / "store", keep=2)
+        for _ in range(3):
+            store.save(trained_pipeline)
+        names = [path.name for path in store.snapshots()]
+        assert names == ["ckpt-00000002", "ckpt-00000003"]
+        assert store.latest().name == "ckpt-00000003"
+
+    def test_recovery_skips_corrupt_latest(
+        self, trained_pipeline, tiny_benchmark, tmp_path
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        store = CheckpointStore(tmp_path / "store", keep=3)
+        good = store.save(trained_pipeline)
+        bad = store.save(trained_pipeline)
+        # Bit-flip the newest snapshot's weights.
+        weights = bad / "weights.npz"
+        data = bytearray(weights.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        weights.write_bytes(bytes(data))
+
+        loaded = store.load_latest()
+        assert _ranked_sqls(loaded, example, db) == _ranked_sqls(
+            trained_pipeline, example, db
+        )
+        assert good.exists()
+
+    def test_all_corrupt_raises_typed_error(self, trained_pipeline, tmp_path):
+        store = CheckpointStore(tmp_path / "store", keep=2)
+        path = store.save(trained_pipeline)
+        (path / "manifest.json").unlink()
+        with pytest.raises(CheckpointError):
+            store.load_latest()
+
+    def test_empty_store_raises_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path / "nothing").load_latest()
+
+
+class TestWarmStart:
+    def test_service_from_single_checkpoint(
+        self, trained_pipeline, tiny_benchmark, tmp_path
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        target = tmp_path / "ckpt"
+        save_pipeline(trained_pipeline, target)
+        with TranslationService.from_checkpoint(
+            target, ServiceConfig(workers=1, queue_limit=2)
+        ) as service:
+            result = service.translate(example.question, db, timeout=60)
+            assert [to_sql(r.query) for r in result.translations] == (
+                _ranked_sqls(trained_pipeline, example, db)
+            )
+
+    def test_service_from_store_skips_torn_snapshot(
+        self, trained_pipeline, tiny_benchmark, tmp_path
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        root = tmp_path / "store"
+        store = CheckpointStore(root, keep=3)
+        store.save(trained_pipeline)
+        # Simulate a torn newer save: kill -9 mid-write via failpoint.
+        with FAULTS.inject("persist.save"):
+            with pytest.raises(InjectedFault):
+                store.save(trained_pipeline)
+        with TranslationService.from_checkpoint(
+            root, ServiceConfig(workers=1, queue_limit=2)
+        ) as service:
+            result = service.translate(example.question, db, timeout=60)
+            assert result.translations
