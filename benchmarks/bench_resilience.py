@@ -93,7 +93,7 @@ def _paired_overhead(baseline, variant) -> float:
     return statistics.median(ratios)
 
 
-def test_guard_layer_overhead_under_five_percent(record_result):
+def test_guard_layer_overhead_under_five_percent(record_result, bench_metrics):
     db, queries = _workload()
 
     def run_inert():
@@ -149,6 +149,16 @@ def test_guard_layer_overhead_under_five_percent(record_result):
         ]
     )
     record_result("resilience", rendered)
+    bench_metrics(
+        "resilience",
+        {
+            "workload_ms": base * 1e3,
+            "budget_overhead_pct": budget_overhead * 100,
+            "fire_ns": t_fire * 1e9,
+            "guarded_call_us": t_guard * 1e6,
+            "inert_bound_pct": inert_overhead * 100,
+        },
+    )
 
     assert not report.faults  # the guarded no-op never recorded anything
     assert budget_overhead < 0.05

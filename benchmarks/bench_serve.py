@@ -42,7 +42,7 @@ def _per_call(fn, number: int) -> float:
     return min(timeit.repeat(fn, number=number, repeat=3)) / number
 
 
-def test_serve_layer_overhead_under_five_percent(record_result):
+def test_serve_layer_overhead_under_five_percent(record_result, bench_metrics):
     db, queries = _workload()
 
     def run_workload():
@@ -102,6 +102,18 @@ def test_serve_layer_overhead_under_five_percent(record_result):
         ]
     )
     record_result("serve", rendered)
+    bench_metrics(
+        "serve",
+        {
+            "workload_ms": base * 1e3,
+            "deadline_expired_ns": t_expired * 1e9,
+            "breaker_allow_ns": t_allow * 1e9,
+            "breaker_success_ns": t_success * 1e9,
+            "guarded_call_us": t_guard_plain * 1e6,
+            "guarded_call_breaker_us": t_guard_breaker * 1e6,
+            "overhead_bound_pct": bound * 100,
+        },
+    )
 
     assert not report.faults  # the guarded no-op never recorded anything
     assert breaker.state == "closed"

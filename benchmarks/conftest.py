@@ -9,6 +9,7 @@ across the whole suite.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -33,3 +34,28 @@ def record_result():
         print(f"\n{rendered}\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def bench_metrics():
+    """Collect named numeric results across the whole benchmark session.
+
+    Benchmarks call ``bench_metrics("serve", {"base_ms": 1.2, ...})``;
+    everything collected is written to ``results/BENCH_obs.json`` at
+    session teardown — one machine-readable artifact regressions can be
+    tracked against (CI uploads it).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    collected: dict[str, dict[str, float]] = {}
+
+    def record(name: str, numbers: dict) -> None:
+        collected[name] = {
+            key: float(value) for key, value in sorted(numbers.items())
+        }
+
+    yield record
+    if collected:
+        path = RESULTS_DIR / "BENCH_obs.json"
+        path.write_text(
+            json.dumps(collected, indent=2, sort_keys=True) + "\n"
+        )

@@ -9,10 +9,12 @@ whose outputs are near-duplicates (Fig. 1 of the paper).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.metadata import QueryMetadata
 from repro.core.resilience import TranslationReport, fire
+from repro.obs.trace import current_tracer
 from repro.core.values import ground_values
 from repro.models.base import Candidate, TranslationModel
 from repro.schema.database import Database
@@ -61,8 +63,15 @@ class CandidateGenerator:
         decode raises is skipped (its beam is lost, the rest survive), and
         a single candidate whose value grounding or rendering raises is
         dropped.  Each isolation is recorded in *report* when one is given.
+
+        When an ambient tracer is installed (the pipeline installs one
+        per translation) each condition decode gets a
+        ``generate.condition`` sub-span and each candidate's grounding a
+        ``ground`` sub-span, so a slow condition or a pathological
+        candidate is visible in the trace tree.
         """
         fire("generator.generate")
+        tracer = current_tracer()
         config = self.config
         collected: list[GeneratedCandidate] = []
         seen: set[str] = set()
@@ -85,7 +94,12 @@ class CandidateGenerator:
             candidate: Candidate, metadata: QueryMetadata | None
         ) -> None:
             try:
-                add(candidate, metadata)
+                with (
+                    tracer.span("ground", candidate=len(collected))
+                    if tracer is not None
+                    else nullcontext()
+                ):
+                    add(candidate, metadata)
             except Exception as exc:  # noqa: BLE001 — candidate isolation
                 if report is not None:
                     report.record_exception(
@@ -96,39 +110,52 @@ class CandidateGenerator:
                     )
 
         for condition_index, metadata in enumerate(compositions):
-            try:
-                beam = self.model.translate(
-                    question,
-                    db,
-                    metadata=metadata,
-                    beam_size=config.beam_per_condition,
-                )
-            except Exception as exc:  # noqa: BLE001 — condition isolation
-                if report is not None:
-                    report.record_exception(
-                        "generate",
-                        exc,
-                        candidate=condition_index,
-                        fallback="skip",
+            with (
+                tracer.span("generate.condition", condition=condition_index)
+                if tracer is not None
+                else nullcontext()
+            ) as span:
+                try:
+                    beam = self.model.translate(
+                        question,
+                        db,
+                        metadata=metadata,
+                        beam_size=config.beam_per_condition,
                     )
-                continue
-            for candidate in beam:
-                add_isolated(candidate, metadata)
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    if report is not None:
+                        report.record_exception(
+                            "generate",
+                            exc,
+                            candidate=condition_index,
+                            fallback="skip",
+                        )
+                    continue
+                before = len(collected)
+                for candidate in beam:
+                    add_isolated(candidate, metadata)
+                if span is not None:
+                    span.attributes["added"] = len(collected) - before
             if len(collected) >= config.max_candidates:
                 break
 
         if config.include_unconditioned and len(collected) < config.max_candidates:
-            try:
-                beam = self.model.translate(
-                    question, db, beam_size=config.unconditioned_beam
-                )
-            except Exception as exc:  # noqa: BLE001 — condition isolation
-                beam = []
-                if report is not None:
-                    report.record_exception(
-                        "generate", exc, candidate=None, fallback="skip"
+            with (
+                tracer.span("generate.unconditioned")
+                if tracer is not None
+                else nullcontext()
+            ):
+                try:
+                    beam = self.model.translate(
+                        question, db, beam_size=config.unconditioned_beam
                     )
-            for candidate in beam:
-                add_isolated(candidate, None)
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    beam = []
+                    if report is not None:
+                        report.record_exception(
+                            "generate", exc, candidate=None, fallback="skip"
+                        )
+                for candidate in beam:
+                    add_isolated(candidate, None)
 
         return collected[: config.max_candidates]

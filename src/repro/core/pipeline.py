@@ -27,6 +27,7 @@ absorbed.
 
 from __future__ import annotations
 
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.core.rank_stage2 import (
     Stage2Config,
 )
 from repro.core.resilience import (
+    FAULTS,
     BreakerBoard,
     CircuitBreaker,
     Deadline,
@@ -64,6 +66,8 @@ from repro.core.resilience import (
 from repro.core.similarity import similarity_score, similarity_unit
 from repro.data.dataset import Dataset
 from repro.models.base import TranslationModel
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, current_tracer, trace_scope
 from repro.schema.database import Database
 from repro.sqlkit.ast import Query
 from repro.sqlkit.errors import PipelineStateError
@@ -89,6 +93,41 @@ class MetaSQLConfig:
     stage2: Stage2Config = field(default_factory=Stage2Config)
     resilience: DegradationPolicy = field(default_factory=DegradationPolicy)
     seed: int = 20240501
+
+
+# ----------------------------------------------------------------------
+# Observability wiring (metric names are documented in DESIGN.md §10).
+# ``get_registry()`` is consulted at event time so the serving layer's
+# (or a test's) ambient registry scope is honoured.
+
+
+def _stage_latency(registry: MetricsRegistry):
+    return registry.histogram(
+        "metasql_stage_latency_seconds",
+        "Wall seconds spent per pipeline stage.",
+        labelnames=("stage",),
+    )
+
+
+def _record_breaker_transition(stage: str, old: str, new: str) -> None:
+    registry = get_registry()
+    registry.counter(
+        "metasql_breaker_transitions_total",
+        "Circuit-breaker state transitions by stage and target state.",
+        labelnames=("stage", "to"),
+    ).labels(stage=stage, to=new).inc()
+
+
+def _record_failpoint_trigger(site: str) -> None:
+    get_registry().counter(
+        "metasql_failpoint_triggered_total",
+        "Armed failpoint firings by injection site.",
+        labelnames=("site",),
+    ).labels(site=site).inc()
+
+
+# The process-wide injector reports armed firings to the metrics layer.
+FAULTS.on_trigger = _record_failpoint_trigger
 
 
 @dataclass(frozen=True)
@@ -155,7 +194,9 @@ class MetaSQL:
         self.stage1 = DualTowerRanker(self.config.stage1)
         self.stage2 = MultiGrainedRanker(stage2_config)
         self._trained = False
-        self.breakers = self.config.resilience.make_breakers()
+        self.breakers = self.config.resilience.make_breakers(
+            on_transition=_record_breaker_transition
+        )
         # "Not known broken": a restored pipeline (persist.load_pipeline)
         # keeps these True; a guarded training failure flips them so
         # inference degrades instead of raising.
@@ -506,6 +547,12 @@ class MetaSQL:
         stage-1 ordering if stage-1 ran, generation order if only the
         generator ran, empty otherwise — with the expiry recorded on the
         report (``deadline_budget`` / ``deadline_stage``).
+
+        Every call is traced: a ``translate`` root span with one child
+        per stage (plus the generator's per-condition/per-candidate
+        sub-spans) is attached to ``report.trace``, stage latencies land
+        in the ambient metrics registry, and fault/degradation counters
+        are flushed from the report — on every return path.
         """
         if not self._trained:
             raise PipelineStateError(
@@ -519,46 +566,105 @@ class MetaSQL:
         if deadline is not None:
             report.deadline_budget = deadline.budget
         self.last_report = report
-        if self._deadline_expired(deadline, report, "classify", "empty"):
-            return RankedResult([], report)
-        if compositions is None:
-            compositions = self._compositions_guarded(
-                question, db, policy, report
-            )
-        if self._deadline_expired(deadline, report, "generate", "empty"):
-            return RankedResult([], report)
-        ok, generated = guarded_call(
-            "generate",
-            lambda: self.generator.generate(
-                question, db, compositions, report=report
-            ),
-            policy,
-            report,
-            fallback="empty",
-            site="generator.generate",
-            breaker=self._breaker("generate"),
-        )
-        if not ok or not generated:
-            return RankedResult([], report)
-
-        schema = db.schema
-        surfaces: list[str] = []
-        kept: list[GeneratedCandidate] = []
-        for index, candidate in enumerate(generated):
-            try:
-                surface = sql_surface(candidate.query, schema)
-            except Exception as exc:  # noqa: BLE001 — candidate isolation
-                if not policy.isolate_candidates:
-                    raise
-                report.record_exception(
-                    "surface", exc, candidate=index, fallback="skip"
+        registry = get_registry()
+        with ExitStack() as stack:
+            tracer = current_tracer()
+            if tracer is None:
+                tracer = Tracer()
+                stack.enter_context(trace_scope(tracer))
+            with tracer.span("translate") as root:
+                translations = self._translate_stages(
+                    question,
+                    db,
+                    compositions,
+                    deadline,
+                    policy,
+                    report,
+                    tracer,
+                    registry,
                 )
-                continue
-            surfaces.append(surface)
-            kept.append(candidate)
-        if not kept:
-            return RankedResult([], report)
-        generated = kept
+        report.trace = root.as_dict()
+        registry.histogram(
+            "metasql_translate_latency_seconds",
+            "End-to-end pipeline translate latency.",
+        ).observe(root.duration)
+        self._flush_report_metrics(registry, report)
+        return RankedResult(translations, report)
+
+    @contextmanager
+    def _stage_span(self, tracer: Tracer, registry: MetricsRegistry, stage):
+        """A stage-boundary span whose duration feeds the stage histogram.
+
+        The histogram observation happens on exit, so early returns from
+        the ``with`` body (deadline expiries, terminal faults) still
+        record the time the stage consumed.
+        """
+        with tracer.span(stage) as span:
+            yield span
+        _stage_latency(registry).labels(stage=stage).observe(span.duration)
+
+    def _translate_stages(
+        self,
+        question: str,
+        db: Database,
+        compositions: list[QueryMetadata] | None,
+        deadline: Deadline | None,
+        policy: DegradationPolicy,
+        report: TranslationReport,
+        tracer: Tracer,
+        registry: MetricsRegistry,
+    ) -> list[RankedTranslation]:
+        """The four traced stage blocks behind ``translate_ranked_report``."""
+        with self._stage_span(tracer, registry, "classify") as span:
+            if self._deadline_expired(deadline, report, "classify", "empty"):
+                return []
+            if compositions is None:
+                compositions = self._compositions_guarded(
+                    question, db, policy, report
+                )
+            span.attributes["compositions"] = len(compositions)
+
+        with self._stage_span(tracer, registry, "generate") as span:
+            if self._deadline_expired(deadline, report, "generate", "empty"):
+                return []
+            ok, generated = guarded_call(
+                "generate",
+                lambda: self.generator.generate(
+                    question, db, compositions, report=report
+                ),
+                policy,
+                report,
+                fallback="empty",
+                site="generator.generate",
+                breaker=self._breaker("generate"),
+            )
+            if not ok or not generated:
+                span.attributes["candidates"] = 0
+                return []
+
+            schema = db.schema
+            surfaces: list[str] = []
+            kept: list[GeneratedCandidate] = []
+            for index, candidate in enumerate(generated):
+                try:
+                    surface = sql_surface(candidate.query, schema)
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    if not policy.isolate_candidates:
+                        raise
+                    report.record_exception(
+                        "surface", exc, candidate=index, fallback="skip"
+                    )
+                    continue
+                surfaces.append(surface)
+                kept.append(candidate)
+            generated = kept
+            span.attributes["candidates"] = len(generated)
+            registry.counter(
+                "metasql_candidates_generated_total",
+                "Candidates surviving generation and surface rendering.",
+            ).inc(len(generated))
+        if not generated:
+            return []
 
         def generation_order() -> list[tuple[int, float]]:
             # Generation order: the base model's own beam scores.
@@ -570,29 +676,63 @@ class MetaSQL:
                 for i in order[: self.config.first_stage_top]
             ]
 
-        if self._deadline_expired(
-            deadline, report, "stage1", "generation-order"
-        ):
-            return RankedResult(
-                self._ranked_from_pruned(generated, generation_order()),
-                report,
+        with self._stage_span(tracer, registry, "stage1") as span:
+            if self._deadline_expired(
+                deadline, report, "stage1", "generation-order"
+            ):
+                return self._ranked_from_pruned(
+                    generated, generation_order()
+                )
+            pruned = self._stage1_pruned(question, surfaces, policy, report)
+            if pruned is None:
+                if not policy.stage1_fallback:
+                    return []
+                pruned = generation_order()
+            span.attributes["kept"] = len(pruned)
+            registry.counter(
+                "metasql_candidates_pruned_total",
+                "Candidates dropped by first-stage pruning.",
+            ).inc(max(0, len(generated) - len(pruned)))
+
+        with self._stage_span(tracer, registry, "stage2") as span:
+            if self._deadline_expired(
+                deadline, report, "stage2", "stage1-order"
+            ):
+                return self._ranked_from_pruned(generated, pruned)
+            ranked = self._stage2_ranked(
+                question, generated, surfaces, pruned, schema, policy, report
             )
+            span.attributes["ranked"] = len(ranked)
+        return ranked
 
-        pruned = self._stage1_pruned(question, surfaces, policy, report)
-        if pruned is None:
-            if not policy.stage1_fallback:
-                return RankedResult([], report)
-            pruned = generation_order()
-
-        if self._deadline_expired(deadline, report, "stage2", "stage1-order"):
-            return RankedResult(
-                self._ranked_from_pruned(generated, pruned), report
+    @staticmethod
+    def _flush_report_metrics(
+        registry: MetricsRegistry, report: TranslationReport
+    ) -> None:
+        """Turn one translation's report into registry counters."""
+        if report.faults:
+            faults = registry.counter(
+                "metasql_faults_total",
+                "Fault records by stage, failpoint site and fallback.",
+                labelnames=("stage", "site", "fallback"),
             )
-
-        ranked = self._stage2_ranked(
-            question, generated, surfaces, pruned, schema, policy, report
-        )
-        return RankedResult(ranked, report)
+            for record in report.faults:
+                faults.labels(
+                    stage=record.stage,
+                    site=record.site or "",
+                    fallback=record.fallback or "",
+                ).inc()
+        if report.degraded:
+            registry.counter(
+                "metasql_degraded_translations_total",
+                "Translations that applied any degradation fallback.",
+            ).inc()
+        if report.deadline_expired:
+            registry.counter(
+                "metasql_deadline_expired_total",
+                "Deadline expiries by the stage that observed them.",
+                labelnames=("stage",),
+            ).labels(stage=report.deadline_stage or "").inc()
 
     @staticmethod
     def _ranked_from_pruned(

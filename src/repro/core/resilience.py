@@ -30,7 +30,7 @@ import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Iterator
 
 from repro.sqlkit.errors import DeadlineExceeded, PipelineError, StageError
@@ -87,11 +87,17 @@ class FaultInjector:
 
     >>> with FAULTS.inject("stage1.rank"):
     ...     pipeline.translate(question, db)   # stage-1 fault -> fallback
+
+    ``on_trigger`` is an instrumentation callback invoked with the site
+    name every time an armed site actually raises (the observability
+    layer wires it to a per-failpoint counter); observer errors are
+    swallowed so instrumentation can never mask the injected fault.
     """
 
     def __init__(self, sites: tuple[str, ...] = FAILPOINTS) -> None:
         self._sites = set(sites)
         self._armed: dict[str, _ArmedSite] = {}
+        self.on_trigger: Callable[[str], None] | None = None
 
     @property
     def sites(self) -> tuple[str, ...]:
@@ -141,8 +147,17 @@ class FaultInjector:
         if not self._armed:
             return
         plan = self._armed.get(site)
-        if plan is not None:
+        if plan is None:
+            return
+        try:
             plan.trigger()
+        except BaseException:
+            if self.on_trigger is not None:
+                try:
+                    self.on_trigger(site)
+                except Exception:  # noqa: BLE001 — observers never mask
+                    pass
+            raise
 
     @contextmanager
     def inject(
@@ -258,7 +273,11 @@ class CircuitBreaker:
       the breaker, its failure re-opens it for another cooldown.
 
     Thread-safe (the serving layer shares one pipeline across workers)
-    and clock-injectable for deterministic tests.
+    and clock-injectable for deterministic tests.  State transitions are
+    reported to the optional ``on_transition(stage, old, new)`` callback
+    — the observability layer's hook for breaker-flap counters — invoked
+    *outside* the breaker lock so observers can safely touch shared
+    registries; observer errors are swallowed.
     """
 
     def __init__(
@@ -267,12 +286,14 @@ class CircuitBreaker:
         threshold: int = 5,
         cooldown: float = 30.0,
         clock: Callable[[], float] | None = None,
+        on_transition: Callable[[str, str, str], None] | None = None,
     ) -> None:
         if threshold <= 0:
             raise ValueError("breaker threshold must be positive")
         self.stage = stage
         self.threshold = threshold
         self.cooldown = cooldown
+        self.on_transition = on_transition
         self._clock = clock if clock is not None else time.monotonic
         self._lock = threading.Lock()
         self._state = "closed"
@@ -280,19 +301,39 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probing = False
         self._opened_total = 0  # times tripped, for health snapshots
+        self._pending: list[tuple[str, str]] = []  # transitions to notify
 
     @property
     def state(self) -> str:
         """Current state, applying the open -> half-open transition."""
         with self._lock:
-            return self._state_locked()
+            state = self._state_locked()
+        self._notify()
+        return state
+
+    def _set_state_locked(self, new: str) -> None:
+        if new != self._state:
+            self._pending.append((self._state, new))
+            self._state = new
+
+    def _notify(self) -> None:
+        """Flush queued transitions to the observer, outside the lock."""
+        if self.on_transition is None:
+            return
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for old, new in pending:
+            try:
+                self.on_transition(self.stage, old, new)
+            except Exception:  # noqa: BLE001 — observers never break us
+                pass
 
     def _state_locked(self) -> str:
         if (
             self._state == "open"
             and self._clock() - self._opened_at >= self.cooldown
         ):
-            self._state = "half-open"
+            self._set_state_locked("half-open")
             self._probing = False
         return self._state
 
@@ -301,18 +342,22 @@ class CircuitBreaker:
         with self._lock:
             state = self._state_locked()
             if state == "closed":
-                return True
-            if state == "half-open" and not self._probing:
+                admitted = True
+            elif state == "half-open" and not self._probing:
                 self._probing = True
-                return True
-            return False
+                admitted = True
+            else:
+                admitted = False
+        self._notify()
+        return admitted
 
     def record_success(self) -> None:
         """A guarded call (or probe) succeeded: close and reset."""
         with self._lock:
-            self._state = "closed"
+            self._set_state_locked("closed")
             self._failures = 0
             self._probing = False
+        self._notify()
 
     def record_failure(self) -> None:
         """A guarded call failed terminally: count, maybe trip open."""
@@ -320,13 +365,14 @@ class CircuitBreaker:
             state = self._state_locked()
             if state == "half-open":
                 self._trip_locked()
-                return
-            self._failures += 1
-            if self._failures >= self.threshold:
-                self._trip_locked()
+            else:
+                self._failures += 1
+                if self._failures >= self.threshold:
+                    self._trip_locked()
+        self._notify()
 
     def _trip_locked(self) -> None:
-        self._state = "open"
+        self._set_state_locked("open")
         self._opened_at = self._clock()
         self._failures = 0
         self._probing = False
@@ -339,12 +385,14 @@ class CircuitBreaker:
     def snapshot(self) -> dict:
         """State for health endpoints: no locks held by the caller."""
         with self._lock:
-            return {
+            snapshot = {
                 "stage": self.stage,
                 "state": self._state_locked(),
                 "consecutive_failures": self._failures,
                 "times_opened": self._opened_total,
             }
+        self._notify()
+        return snapshot
 
 
 class BreakerBoard:
@@ -365,10 +413,15 @@ class BreakerBoard:
         cooldown: float = 30.0,
         clock: Callable[[], float] | None = None,
         stages: tuple[str, ...] | None = None,
+        on_transition: Callable[[str, str, str], None] | None = None,
     ) -> None:
         self._breakers = {
             stage: CircuitBreaker(
-                stage, threshold=threshold, cooldown=cooldown, clock=clock
+                stage,
+                threshold=threshold,
+                cooldown=cooldown,
+                clock=clock,
+                on_transition=on_transition,
             )
             for stage in (stages or self.STAGES)
         }
@@ -420,7 +473,10 @@ class DegradationPolicy:
         default=None, repr=False, compare=False
     )
 
-    def make_breakers(self) -> BreakerBoard | None:
+    def make_breakers(
+        self,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> BreakerBoard | None:
         """The per-stage breaker board this policy prescribes, if any."""
         if self.breaker_threshold <= 0:
             return None
@@ -428,6 +484,7 @@ class DegradationPolicy:
             threshold=self.breaker_threshold,
             cooldown=self.breaker_cooldown,
             clock=self.breaker_clock,
+            on_transition=on_transition,
         )
 
 
@@ -444,6 +501,14 @@ class FaultRecord:
     fallback: str | None = None  # degradation applied ("retry" = recovered)
     transient: bool = False  # taxonomy class: retryable at a higher level
 
+    def as_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRecord":
+        return cls(**{f.name: data.get(f.name) for f in fields(cls)})
+
 
 @dataclass
 class TranslationReport:
@@ -455,6 +520,9 @@ class TranslationReport:
     deadline_budget: float | None = None
     #: The stage boundary at which expiry was observed, when it was.
     deadline_stage: str | None = None
+    #: JSON span tree for the translation (set by the pipeline; the root
+    #: is the ``translate`` span, its children the per-stage spans).
+    trace: dict | None = None
 
     @property
     def deadline_expired(self) -> bool:
@@ -526,6 +594,46 @@ class TranslationReport:
         )
         self.record(record)
         return record
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`).
+
+        Includes the derived flags (``degraded``, ``deadline_expired``)
+        so journal consumers need not recompute them, and the attached
+        span tree verbatim.
+        """
+        return {
+            "question": self.question,
+            "faults": [record.as_dict() for record in self.faults],
+            "deadline_budget": self.deadline_budget,
+            "deadline_stage": self.deadline_stage,
+            "degraded": self.degraded,
+            "deadline_expired": self.deadline_expired,
+            "skipped_candidates": self.skipped_candidates,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TranslationReport":
+        return cls(
+            question=data.get("question", ""),
+            faults=[
+                FaultRecord.from_dict(record)
+                for record in data.get("faults", [])
+            ],
+            deadline_budget=data.get("deadline_budget"),
+            deadline_stage=data.get("deadline_stage"),
+            trace=data.get("trace"),
+        )
+
+    def stage_durations(self) -> dict[str, float]:
+        """Per-stage wall seconds from the attached trace (may be {})."""
+        if not self.trace:
+            return {}
+        return {
+            child["name"]: child.get("duration", 0.0)
+            for child in self.trace.get("children", ())
+        }
 
     def summary(self) -> str:
         """One-line human summary (for eval output and logs)."""

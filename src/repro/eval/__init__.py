@@ -1,11 +1,14 @@
 """Evaluation harness: metrics, dataset evaluation, report rendering."""
 
 from repro.eval.evaluate import EvalRecord, EvalResult, evaluate_metasql, evaluate_model
+from repro.eval.journal_analysis import JournalSummary, aggregate_journal
 from repro.eval.metrics import execution_match, mrr, precision_at_k
 
 __all__ = [
     "EvalRecord",
     "EvalResult",
+    "JournalSummary",
+    "aggregate_journal",
     "evaluate_model",
     "evaluate_metasql",
     "execution_match",

@@ -185,34 +185,79 @@ def evaluate_metasql(
     dataset: Dataset,
     compute_execution: bool = True,
     limit: int | None = None,
+    journal=None,
 ) -> EvalResult:
-    """Evaluate a trained MetaSQL pipeline (two-stage ranked output)."""
+    """Evaluate a trained MetaSQL pipeline (two-stage ranked output).
+
+    *journal* optionally takes a :class:`repro.obs.journal.Journal` (or a
+    path, opened for the duration of the call): every scored example is
+    appended as one ``{"event": "eval", ...}`` JSONL record carrying the
+    hardness level, EM/EX flags and the per-stage latencies from the
+    translation's trace — the input
+    :mod:`repro.eval.journal_analysis` aggregates offline.
+    """
     result = EvalResult(
         name=f"{pipeline.model.name}+metasql@{dataset.name}"
     )
+    owns_journal = False
+    if journal is not None and not hasattr(journal, "append"):
+        from repro.obs.journal import Journal
+
+        journal = Journal(journal)
+        owns_journal = True
     examples = dataset.examples[:limit] if limit else dataset.examples
-    for example in examples:
-        db = dataset.database(example.db_id)
-        outcome = pipeline.translate_ranked_report(example.question, db)
-        predictions = [r.query for r in outcome.translations]
-        flags = [exact_match(p, example.sql) for p in predictions[:5]]
-        execution_hit = False
-        if predictions and compute_execution:
-            try:
-                execution_hit = execution_match(
-                    predictions[0], example.sql, db, report=outcome.report
-                )
-            except Exception as exc:  # noqa: BLE001 — eval isolation
-                outcome.report.record_exception(
-                    "execute", exc, fallback="no-execution"
-                )
-        result.records.append(
-            EvalRecord(
+    try:
+        for example in examples:
+            db = dataset.database(example.db_id)
+            outcome = pipeline.translate_ranked_report(example.question, db)
+            predictions = [r.query for r in outcome.translations]
+            flags = [exact_match(p, example.sql) for p in predictions[:5]]
+            execution_hit = False
+            if predictions and compute_execution:
+                try:
+                    execution_hit = execution_match(
+                        predictions[0], example.sql, db, report=outcome.report
+                    )
+                except Exception as exc:  # noqa: BLE001 — eval isolation
+                    outcome.report.record_exception(
+                        "execute", exc, fallback="no-execution"
+                    )
+            record = EvalRecord(
                 example=example,
                 predictions=predictions,
                 exact_flags=flags,
                 execution_hit=execution_hit,
                 report=outcome.report,
             )
-        )
+            result.records.append(record)
+            if journal is not None:
+                journal.append(_journal_line(record))
+    finally:
+        if owns_journal:
+            journal.close()
     return result
+
+
+def _journal_line(record: EvalRecord) -> dict:
+    """One eval-journal record (schema documented in DESIGN.md §10)."""
+    report = record.report
+    trace = report.trace or {}
+    return {
+        "event": "eval",
+        "question": record.example.question,
+        "db_id": record.example.db_id,
+        "hardness": record.hardness.value,
+        "em": record.em,
+        "ex": record.execution_hit,
+        "ok": bool(record.predictions),
+        "degraded": record.degraded,
+        "deadline_expired": report.deadline_expired,
+        "faults": [
+            {"stage": f.stage, "fallback": f.fallback} for f in report.faults
+        ],
+        "latency_s": round(trace.get("duration", 0.0), 6),
+        "stages": {
+            stage: round(seconds, 6)
+            for stage, seconds in report.stage_durations().items()
+        },
+    }

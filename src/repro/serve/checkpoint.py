@@ -17,13 +17,19 @@ import os
 import pathlib
 import re
 import shutil
+import time
 
 from repro.core.persist import load_pipeline, save_pipeline
 from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.obs.metrics import get_registry
 from repro.sqlkit.errors import CheckpointError
 
 _SNAPSHOT = re.compile(r"^ckpt-(\d{8})$")
 _LATEST = "LATEST"
+
+
+def _observe_seconds(name: str, help: str, seconds: float) -> None:
+    get_registry().histogram(name, help).observe(seconds)
 
 
 class CheckpointStore:
@@ -72,9 +78,15 @@ class CheckpointStore:
         else:
             last_index = 0
         path = self.root / f"ckpt-{last_index + 1:08d}"
+        started = time.perf_counter()
         save_pipeline(pipeline, path)
         self._write_pointer(path.name)
         self._prune(keep_name=path.name)
+        _observe_seconds(
+            "checkpoint_save_seconds",
+            "Wall seconds to write, point at, and prune one snapshot.",
+            time.perf_counter() - started,
+        )
         return path
 
     def _write_pointer(self, name: str) -> None:
@@ -107,11 +119,24 @@ class CheckpointStore:
         :class:`CheckpointError` only when no snapshot loads.
         """
         tried: list[tuple[str, str]] = []
+        started = time.perf_counter()
         for path in self._recovery_order():
             try:
-                return load_pipeline(path, config)
+                pipeline = load_pipeline(path, config)
             except CheckpointError as exc:
                 tried.append((path.name, str(exc)))
+                get_registry().counter(
+                    "checkpoint_snapshots_skipped_total",
+                    "Corrupt/torn snapshots skipped during recovery.",
+                ).inc()
+                continue
+            _observe_seconds(
+                "checkpoint_load_seconds",
+                "Wall seconds to restore the last good snapshot "
+                "(includes skipped corrupt ones).",
+                time.perf_counter() - started,
+            )
+            return pipeline
         detail = (
             "; ".join(f"{name}: {why}" for name, why in tried)
             or "store is empty"

@@ -19,8 +19,16 @@ fault isolation (PR 1):
   taxonomy) is retried a bounded number of times with full-jitter
   exponential backoff, deadline permitting.
 - **Health/readiness** — :meth:`TranslationService.health` snapshots
-  queue depth, per-stage circuit-breaker states, counters, and the
-  rolling degraded-rate (same notion as ``EvalResult.degraded_rate``).
+  queue depth, per-stage circuit-breaker states, counters, uptime, and
+  the rolling degraded-rate (same notion as ``EvalResult.degraded_rate``).
+- **Observability** — every request feeds the service's
+  :class:`~repro.obs.metrics.MetricsRegistry` (queue depth/wait,
+  in-flight, retries, rejections, end-to-end latency; the pipeline adds
+  its per-stage metrics under the same registry via an ambient scope),
+  :meth:`TranslationService.metrics` renders it in the Prometheus text
+  format, and an optional :class:`~repro.obs.journal.Journal` records a
+  per-request JSONL summary for offline analysis
+  (:mod:`repro.eval.journal_analysis`).
 
 The service is deliberately synchronous-thread-pool shaped: the pipeline
 is pure CPU-bound Python/numpy, so a small worker pool bounded by a
@@ -36,7 +44,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.core.pipeline import MetaSQL, RankedResult
 from repro.core.resilience import (
@@ -46,6 +54,8 @@ from repro.core.resilience import (
     fire,
 )
 from repro.eval.evaluate import reports_degraded_rate
+from repro.obs.journal import Journal
+from repro.obs.metrics import MetricsRegistry, get_registry, registry_scope
 from repro.schema.database import Database
 from repro.sqlkit.errors import Overloaded, ServiceStopped
 
@@ -67,6 +77,9 @@ class ServiceConfig:
     jitter_seed: int | None = None
     #: How many recent reports the rolling degraded-rate covers.
     health_window: int = 256
+    #: When set, a per-request JSONL event journal is appended here
+    #: (crash-safe; see :mod:`repro.obs.journal`).
+    journal_path: str | pathlib.Path | None = None
 
 
 @dataclass(frozen=True)
@@ -85,11 +98,28 @@ class HealthSnapshot:
     degraded_rate: float
     deadline_expired: int
     breakers: dict[str, str] = field(default_factory=dict)
+    #: Seconds since the service started, on its injectable clock.
+    uptime_seconds: float = 0.0
 
     @property
     def ready(self) -> bool:
         """Whether a new request would currently be admitted."""
         return self.accepting and self.queue_depth < self.queue_capacity
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`).
+
+        The derived ``ready`` flag is included for endpoint consumers
+        but ignored on the way back in.
+        """
+        record = asdict(self)
+        record["ready"] = self.ready
+        return record
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthSnapshot":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -98,6 +128,7 @@ class _Job:
     db: Database
     deadline: Deadline | None
     future: Future
+    submitted_at: float = 0.0  # service clock, for queue-wait metrics
 
 
 #: Queue sentinel that tells a worker to exit its loop.
@@ -121,6 +152,9 @@ class TranslationService:
         pipeline: MetaSQL,
         config: ServiceConfig | None = None,
         sleep=time.sleep,
+        clock=time.monotonic,
+        registry: MetricsRegistry | None = None,
+        journal: Journal | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.config = config or ServiceConfig()
@@ -129,6 +163,18 @@ class TranslationService:
         if self.config.queue_limit <= 0:
             raise ValueError("service needs a positive queue limit")
         self._sleep = sleep
+        self._clock = clock
+        self._started = clock()
+        # The registry is captured at construction (worker threads do not
+        # inherit the constructor's context) and re-installed ambiently
+        # around each pipeline call so per-stage metrics land here too.
+        self.registry = registry if registry is not None else get_registry()
+        if journal is not None:
+            self._journal: Journal | None = journal
+        elif self.config.journal_path is not None:
+            self._journal = Journal(self.config.journal_path)
+        else:
+            self._journal = None
         self._rng = random.Random(self.config.jitter_seed)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
         self._lock = threading.Lock()
@@ -142,6 +188,7 @@ class TranslationService:
         self._recent_reports: deque[TranslationReport] = deque(
             maxlen=self.config.health_window
         )
+        self._init_metrics()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -152,6 +199,35 @@ class TranslationService:
         ]
         for worker in self._workers:
             worker.start()
+
+    def _init_metrics(self) -> None:
+        """Create (or re-bind) the service's instrument handles."""
+        registry = self.registry
+        self._m_queue_depth = registry.gauge(
+            "serve_queue_depth", "Requests waiting in the admission queue."
+        )
+        self._m_in_flight = registry.gauge(
+            "serve_in_flight", "Requests currently being translated."
+        )
+        self._m_queue_wait = registry.histogram(
+            "serve_queue_wait_seconds",
+            "Seconds a request waited in the queue before a worker took it.",
+        )
+        self._m_latency = registry.histogram(
+            "serve_e2e_latency_seconds",
+            "End-to-end seconds from admission to completion.",
+        )
+        self._m_requests = registry.counter(
+            "serve_requests_total",
+            "Finished requests by outcome.",
+            labelnames=("outcome",),
+        )
+        self._m_rejected = registry.counter(
+            "serve_rejected_total", "Requests shed by admission control."
+        )
+        self._m_retries = registry.counter(
+            "serve_retries_total", "Service-level transient-fault retries."
+        )
 
     # ------------------------------------------------------------------
     # Submission (admission control).
@@ -168,7 +244,9 @@ class TranslationService:
         load; the caller may retry after backoff) and
         :class:`ServiceStopped` after :meth:`shutdown`.
         """
-        if not self._accepting:
+        with self._lock:
+            accepting = self._accepting
+        if not accepting:
             raise ServiceStopped("translation service is shut down")
         if deadline is None:
             if self.config.default_deadline is not None:
@@ -176,15 +254,23 @@ class TranslationService:
         elif not isinstance(deadline, Deadline):
             deadline = Deadline(float(deadline))
         future: Future = Future()
-        job = _Job(question=question, db=db, deadline=deadline, future=future)
+        job = _Job(
+            question=question,
+            db=db,
+            deadline=deadline,
+            future=future,
+            submitted_at=self._clock(),
+        )
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             with self._lock:
                 self._rejected += 1
+            self._m_rejected.inc()
             raise Overloaded(
                 self._queue.qsize(), self.config.queue_limit
             ) from None
+        self._m_queue_depth.set(self._queue.qsize())
         return future
 
     def translate(
@@ -206,30 +292,46 @@ class TranslationService:
             try:
                 if job is _SHUTDOWN:
                     return
+                self._m_queue_depth.set(self._queue.qsize())
                 if not job.future.set_running_or_notify_cancel():
                     continue
+                self._m_queue_wait.observe(
+                    max(0.0, self._clock() - job.submitted_at)
+                )
                 with self._lock:
                     self._in_flight += 1
+                self._m_in_flight.inc()
                 try:
                     result = self._handle(job)
                 except BaseException as exc:  # noqa: BLE001 — to the future
                     with self._lock:
                         self._failed += 1
                         self._in_flight -= 1
+                    self._finish_job(job, "failed")
                     job.future.set_exception(exc)
                 else:
                     with self._lock:
                         self._completed += 1
                         self._in_flight -= 1
+                    self._finish_job(job, "completed")
                     job.future.set_result(result)
             finally:
                 self._queue.task_done()
+
+    def _finish_job(self, job: _Job, outcome: str) -> None:
+        self._m_in_flight.dec()
+        self._m_requests.labels(outcome=outcome).inc()
+        self._m_latency.observe(max(0.0, self._clock() - job.submitted_at))
 
     def _handle(self, job: _Job) -> RankedResult:
         fire("serve.handle")
         attempt = 0
         while True:
-            with deadline_scope(job.deadline):
+            # The registry scope routes the pipeline's per-stage metrics
+            # (and breaker-transition callbacks) into this service's
+            # registry even though workers run outside the constructor's
+            # context.
+            with registry_scope(self.registry), deadline_scope(job.deadline):
                 result = self.pipeline.translate_ranked_report(
                     job.question, job.db
                 )
@@ -241,10 +343,44 @@ class TranslationService:
             ):
                 with self._lock:
                     self._retried += 1
+                self._m_retries.inc()
                 self._sleep(self._backoff(attempt))
                 attempt += 1
                 continue
+            self._journal_request(job, result, attempt)
             return result
+
+    def _journal_request(
+        self, job: _Job, result: RankedResult, retries: int
+    ) -> None:
+        """Append the request's summary line to the event journal."""
+        if self._journal is None:
+            return
+        report = result.report
+        record = {
+            "event": "translate",
+            "question": job.question,
+            "ok": bool(result.translations),
+            "translations": len(result.translations),
+            "degraded": report.degraded,
+            "deadline_expired": report.deadline_expired,
+            "faults": [
+                {"stage": f.stage, "fallback": f.fallback}
+                for f in report.faults
+            ],
+            "retries": retries,
+            "latency_s": round(
+                max(0.0, self._clock() - job.submitted_at), 6
+            ),
+            "stages": {
+                stage: round(seconds, 6)
+                for stage, seconds in report.stage_durations().items()
+            },
+        }
+        try:
+            self._journal.append(record)
+        except Exception:  # noqa: BLE001 — journalling never fails a request
+            pass
 
     @staticmethod
     def _retryable(result: RankedResult) -> bool:
@@ -277,7 +413,12 @@ class TranslationService:
     # Health and lifecycle.
 
     def health(self) -> HealthSnapshot:
-        """Snapshot queue, counters, breakers, rolling degraded-rate."""
+        """Snapshot queue, counters, breakers, rolling degraded-rate.
+
+        Every counter — including ``accepting`` and the uptime read —
+        is taken under the one service lock, so the snapshot is a
+        consistent point-in-time view, not a mix of racing reads.
+        """
         board = self.pipeline.breakers
         with self._lock:
             return HealthSnapshot(
@@ -293,18 +434,35 @@ class TranslationService:
                 degraded_rate=reports_degraded_rate(self._recent_reports),
                 deadline_expired=self._deadline_expired,
                 breakers=board.states() if board is not None else {},
+                uptime_seconds=max(0.0, self._clock() - self._started),
             )
+
+    def metrics(self) -> str:
+        """The service's registry in the Prometheus text format.
+
+        The endpoint-style companion to :meth:`health`: scrape-ready
+        text covering the queue/latency/outcome metrics recorded here
+        plus the per-stage pipeline metrics recorded under this
+        service's ambient registry scope.
+        """
+        self._m_queue_depth.set(self._queue.qsize())
+        with self._lock:
+            self._m_in_flight.set(self._in_flight)
+        return self.registry.render_prometheus()
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop admitting; drain admitted requests; stop the workers."""
-        if not self._accepting:
-            return
-        self._accepting = False
+        with self._lock:
+            if not self._accepting:
+                return
+            self._accepting = False
         for _ in self._workers:
             self._queue.put(_SHUTDOWN)
         if wait:
             for worker in self._workers:
                 worker.join()
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "TranslationService":
         return self
