@@ -1,0 +1,108 @@
+"""Semantic-lint candidate-gate overhead on generation (target: <5%).
+
+The gate runs :class:`repro.sqlkit.analyze.SemanticAnalyzer` over every
+deduplicated candidate before it enters the set.  This benchmark times
+real conditioned generation (a fitted base model over SpiderSim dev
+examples) with the gate on vs off using interleaved paired timing
+(machine-load drift cancels in the median of per-pair ratios),
+micro-times one analysis call, and asserts the end-to-end overhead stays
+below the 5% budget the ISSUE allows.
+
+Run with ``pytest benchmarks/bench_lint.py``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import timeit
+
+from repro.core.generation import CandidateGenerator, GeneratorConfig
+from repro.core.metadata import extract_metadata
+from repro.data.spider import build_spider
+from repro.sqlkit.analyze import SemanticAnalyzer
+
+PAIRS = 15
+REPS = 3
+
+
+def _paired_overhead(baseline, variant) -> float:
+    """Median of per-pair overhead ratios, alternating run order."""
+    ratios = []
+    for i in range(PAIRS):
+        if i % 2 == 0:
+            a = timeit.timeit(baseline, number=REPS)
+            b = timeit.timeit(variant, number=REPS)
+        else:
+            b = timeit.timeit(variant, number=REPS)
+            a = timeit.timeit(baseline, number=REPS)
+        ratios.append((b - a) / a)
+    return statistics.median(ratios)
+
+
+def _workload():
+    """A fitted metadata-conditioned model plus dev examples to decode."""
+    from repro.models.registry import create_model
+
+    benchmark = build_spider(seed=11, train_per_domain=30, dev_per_domain=6)
+    model = create_model("lgesql")
+    model.fit(benchmark.train, with_metadata=True)
+    jobs = []
+    for example in benchmark.dev.examples[:12]:
+        db = benchmark.dev.database(example.db_id)
+        jobs.append((example.question, db, [extract_metadata(example.sql)]))
+    return model, jobs
+
+
+def test_lint_gate_overhead_under_five_percent(record_result, bench_metrics):
+    model, jobs = _workload()
+    gated = CandidateGenerator(model, GeneratorConfig(lint_candidates=True))
+    ungated = CandidateGenerator(
+        model, GeneratorConfig(lint_candidates=False)
+    )
+
+    def run_gated():
+        for question, db, compositions in jobs:
+            gated.generate(question, db, compositions)
+
+    def run_ungated():
+        for question, db, compositions in jobs:
+            ungated.generate(question, db, compositions)
+
+    run_gated(), run_ungated()  # warm caches before timing
+    base = timeit.timeit(run_ungated, number=REPS) / REPS
+    overhead = _paired_overhead(run_ungated, run_gated)
+
+    # Per-candidate cost of one analysis call, on a representative
+    # candidate set from the first job.
+    question, db, compositions = jobs[0]
+    candidates = ungated.generate(question, db, compositions)
+    analyzer = SemanticAnalyzer(db.schema)
+    n = 2_000
+    t_analyze = min(
+        timeit.repeat(
+            lambda: [analyzer.analyze(c.query) for c in candidates],
+            number=n // max(len(candidates), 1),
+            repeat=3,
+        )
+    ) / (n // max(len(candidates), 1)) / max(len(candidates), 1)
+
+    rendered = "\n".join(
+        [
+            "semantic-lint candidate-gate overhead (generation path)",
+            f"  workload ({len(jobs)} questions): {base * 1e3:8.2f} ms",
+            f"  gate overhead:             {overhead * 100:+6.2f} %"
+            f"  (median of {PAIRS} interleaved pairs)",
+            f"  analyze() per candidate:   {t_analyze * 1e6:8.1f} us",
+        ]
+    )
+    record_result("lint", rendered)
+    bench_metrics(
+        "lint",
+        {
+            "workload_ms": base * 1e3,
+            "gate_overhead_pct": overhead * 100,
+            "analyze_us": t_analyze * 1e6,
+        },
+    )
+
+    assert overhead < 0.05

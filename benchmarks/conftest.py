@@ -41,9 +41,10 @@ def bench_metrics():
     """Collect named numeric results across the whole benchmark session.
 
     Benchmarks call ``bench_metrics("serve", {"base_ms": 1.2, ...})``;
-    everything collected is written to ``results/BENCH_obs.json`` at
-    session teardown — one machine-readable artifact regressions can be
-    tracked against (CI uploads it).
+    each named suite is written to its own ``results/BENCH_<name>.json``
+    at session teardown, plus the combined ``results/BENCH_obs.json`` —
+    machine-readable artifacts regressions can be tracked against (CI
+    uploads them).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     collected: dict[str, dict[str, float]] = {}
@@ -55,6 +56,10 @@ def bench_metrics():
 
     yield record
     if collected:
+        for name, numbers in collected.items():
+            (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+                json.dumps({name: numbers}, indent=2, sort_keys=True) + "\n"
+            )
         path = RESULTS_DIR / "BENCH_obs.json"
         path.write_text(
             json.dumps(collected, indent=2, sort_keys=True) + "\n"

@@ -5,6 +5,17 @@ small beam; the union (deduplicated, value-grounded) is the candidate set
 handed to the ranking pipeline.  Conditioning on different compositions is
 what produces *structurally* diverse candidates — unlike plain beam search,
 whose outputs are near-duplicates (Fig. 1 of the paper).
+
+Before a candidate enters the set it passes the **semantic-lint gate**
+(:mod:`repro.sqlkit.analyze`): a candidate that is statically invalid
+against the schema — unknown columns, aggregate misuse, arity mismatches
+— can never be the correct translation, so spending ranking budget on it
+is pure waste.  Error-severity diagnostics prune the candidate (counted
+per diagnostic code in the report and the metrics registry); warnings are
+attached to the surviving :class:`GeneratedCandidate` for downstream
+consumers.  An analyzer crash on one candidate is isolated: it is
+recorded as a :class:`~repro.core.resilience.FaultRecord` and the
+candidate is kept (the gate fails open, never killing the set).
 """
 
 from __future__ import annotations
@@ -14,11 +25,14 @@ from dataclasses import dataclass
 
 from repro.core.metadata import QueryMetadata
 from repro.core.resilience import TranslationReport, fire
+from repro.obs.metrics import get_registry
 from repro.obs.trace import current_tracer
 from repro.core.values import ground_values
 from repro.models.base import Candidate, TranslationModel
 from repro.schema.database import Database
+from repro.sqlkit.analyze import SemanticAnalyzer
 from repro.sqlkit.ast import Query
+from repro.sqlkit.diagnostics import Diagnostic, error_codes
 from repro.sqlkit.printer import to_sql
 
 
@@ -29,16 +43,35 @@ class GeneratedCandidate:
     query: Query
     score: float
     metadata: QueryMetadata | None
+    #: Warning-severity analyzer findings for the candidate (annotation
+    #: only; error-severity findings prune before a candidate is built).
+    diagnostics: tuple[Diagnostic, ...] = ()
 
 
 @dataclass
 class GeneratorConfig:
-    """Candidate-generation knobs (beam sizes, caps, grounding)."""
+    """Candidate-generation knobs (beam sizes, caps, grounding, lint)."""
     beam_per_condition: int = 2
     include_unconditioned: bool = True
     unconditioned_beam: int = 3
     max_candidates: int = 24
     ground_placeholder_values: bool = True
+    #: Run the schema-aware semantic analyzer over every candidate.
+    lint_candidates: bool = True
+    #: Prune candidates with error-severity diagnostics (False keeps
+    #: them, annotated, so callers can inspect what *would* be pruned).
+    lint_prune_errors: bool = True
+
+
+def _record_lint_rejection(codes: list[str]) -> None:
+    """Count one pruned candidate in the ambient metrics registry."""
+    counter = get_registry().counter(
+        "metasql_candidates_lint_rejected_total",
+        "Candidates pruned by the semantic-lint gate, by diagnostic code.",
+        labelnames=("code",),
+    )
+    for code in codes:
+        counter.labels(code=code).inc()
 
 
 class CandidateGenerator:
@@ -75,6 +108,30 @@ class CandidateGenerator:
         config = self.config
         collected: list[GeneratedCandidate] = []
         seen: set[str] = set()
+        analyzer = (
+            SemanticAnalyzer(db.schema) if config.lint_candidates else None
+        )
+
+        def lint(query: Query) -> tuple[bool, tuple[Diagnostic, ...]]:
+            """Gate one candidate: (keep, warnings-to-annotate)."""
+            if analyzer is None:
+                return True, ()
+            try:
+                diagnostics = analyzer.analyze(query)
+            except Exception as exc:  # repolint: allow[broad-except] — gate fails open, candidate kept
+                if report is not None:
+                    report.record_exception(
+                        "lint", exc, candidate=len(collected), fallback="keep"
+                    )
+                return True, ()
+            codes = error_codes(diagnostics)
+            if codes and config.lint_prune_errors:
+                distinct = sorted(set(codes))
+                _record_lint_rejection(distinct)
+                if report is not None:
+                    report.record_lint_rejection(distinct)
+                return False, ()
+            return True, tuple(diagnostics)
 
         def add(candidate: Candidate, metadata: QueryMetadata | None) -> None:
             query = candidate.query
@@ -84,9 +141,15 @@ class CandidateGenerator:
             if key in seen:
                 return
             seen.add(key)
+            keep, diagnostics = lint(query)
+            if not keep:
+                return
             collected.append(
                 GeneratedCandidate(
-                    query=query, score=candidate.score, metadata=metadata
+                    query=query,
+                    score=candidate.score,
+                    metadata=metadata,
+                    diagnostics=diagnostics,
                 )
             )
 
@@ -100,7 +163,7 @@ class CandidateGenerator:
                     else nullcontext()
                 ):
                     add(candidate, metadata)
-            except Exception as exc:  # noqa: BLE001 — candidate isolation
+            except Exception as exc:  # repolint: allow[broad-except] — candidate isolation
                 if report is not None:
                     report.record_exception(
                         "ground",
@@ -122,7 +185,7 @@ class CandidateGenerator:
                         metadata=metadata,
                         beam_size=config.beam_per_condition,
                     )
-                except Exception as exc:  # noqa: BLE001 — isolation
+                except Exception as exc:  # repolint: allow[broad-except] — isolation
                     if report is not None:
                         report.record_exception(
                             "generate",
@@ -149,7 +212,7 @@ class CandidateGenerator:
                     beam = self.model.translate(
                         question, db, beam_size=config.unconditioned_beam
                     )
-                except Exception as exc:  # noqa: BLE001 — isolation
+                except Exception as exc:  # repolint: allow[broad-except] — isolation
                     beam = []
                     if report is not None:
                         report.record_exception(

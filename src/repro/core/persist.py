@@ -281,7 +281,7 @@ def save_pipeline(pipeline: MetaSQL, directory: str | pathlib.Path) -> None:
         _write_checkpoint(pipeline, staging)
         fire("persist.finalize")
         _swap_into_place(staging, root)
-    except BaseException:
+    except BaseException:  # repolint: allow[broad-except] — cleanup then re-raise
         shutil.rmtree(staging, ignore_errors=True)
         raise
 
@@ -444,7 +444,7 @@ def load_pipeline(
         return _restore_pipeline(root, manifest, config)
     except CheckpointError:
         raise
-    except Exception as exc:  # noqa: BLE001 — typed-error boundary
+    except Exception as exc:  # repolint: allow[broad-except] — typed-error boundary
         raise CheckpointCorrupt(
             f"checkpoint at {root} could not be restored: {exc!r}", path=root
         ) from exc

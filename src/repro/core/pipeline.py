@@ -255,7 +255,7 @@ class MetaSQL:
                 example_triples, items = self._ranker_supervision(
                     example, train, report
                 )
-            except Exception as exc:  # noqa: BLE001 — example isolation
+            except Exception as exc:  # repolint: allow[broad-except] — example isolation
                 if not policy.isolate_candidates:
                     raise
                 report.record_exception(
@@ -331,7 +331,7 @@ class MetaSQL:
                 target10 = similarity_score(candidate.query, example.sql)
                 surface = sql_surface(candidate.query, schema)
                 phrases = tuple(unit_phrases(candidate.query, schema))
-            except Exception as exc:  # noqa: BLE001 — candidate isolation
+            except Exception as exc:  # repolint: allow[broad-except] — candidate isolation
                 if not policy.isolate_candidates:
                     raise
                 report.record_exception(
@@ -648,7 +648,7 @@ class MetaSQL:
             for index, candidate in enumerate(generated):
                 try:
                     surface = sql_surface(candidate.query, schema)
-                except Exception as exc:  # noqa: BLE001 — isolation
+                except Exception as exc:  # repolint: allow[broad-except] — isolation
                     if not policy.isolate_candidates:
                         raise
                     report.record_exception(
@@ -659,6 +659,8 @@ class MetaSQL:
                 kept.append(candidate)
             generated = kept
             span.attributes["candidates"] = len(generated)
+            if report.lint_rejected:
+                span.attributes["lint_rejected"] = report.lint_rejected
             registry.counter(
                 "metasql_candidates_generated_total",
                 "Candidates surviving generation and surface rendering.",
@@ -800,7 +802,7 @@ class MetaSQL:
                     phrases = tuple(
                         unit_phrases(generated[index].query, schema)
                     )
-                except Exception as exc:  # noqa: BLE001 — isolation
+                except Exception as exc:  # repolint: allow[broad-except] — isolation
                     if not policy.isolate_candidates:
                         raise
                     report.record_exception(

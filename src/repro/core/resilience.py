@@ -151,11 +151,11 @@ class FaultInjector:
             return
         try:
             plan.trigger()
-        except BaseException:
+        except BaseException:  # repolint: allow[broad-except] — notify observer, re-raise
             if self.on_trigger is not None:
                 try:
                     self.on_trigger(site)
-                except Exception:  # noqa: BLE001 — observers never mask
+                except Exception:  # repolint: allow[broad-except] — observers never mask
                     pass
             raise
 
@@ -325,7 +325,7 @@ class CircuitBreaker:
         for old, new in pending:
             try:
                 self.on_transition(self.stage, old, new)
-            except Exception:  # noqa: BLE001 — observers never break us
+            except Exception:  # repolint: allow[broad-except] — observers never break us
                 pass
 
     def _state_locked(self) -> str:
@@ -516,6 +516,10 @@ class TranslationReport:
 
     question: str = ""
     faults: list[FaultRecord] = field(default_factory=list)
+    #: Candidates pruned by the semantic-lint gate (statically invalid).
+    lint_rejected: int = 0
+    #: Lint-rejection counts by diagnostic code (``SQL002`` -> count).
+    lint_codes: dict[str, int] = field(default_factory=dict)
     #: The request's time budget in seconds, when one was attached.
     deadline_budget: float | None = None
     #: The stage boundary at which expiry was observed, when it was.
@@ -573,6 +577,18 @@ class TranslationReport:
         self.record(record)
         return record
 
+    def record_lint_rejection(self, codes) -> None:
+        """Count one candidate pruned by the semantic-analysis gate.
+
+        *codes* are the error-severity diagnostic codes the candidate
+        carried (distinct codes each count once).  Lint rejection is the
+        gate doing its job, not a fault: it never marks the translation
+        degraded and produces no :class:`FaultRecord`.
+        """
+        self.lint_rejected += 1
+        for code in codes:
+            self.lint_codes[code] = self.lint_codes.get(code, 0) + 1
+
     def record_deadline(
         self, deadline: Deadline, stage: str, fallback: str
     ) -> FaultRecord:
@@ -605,6 +621,8 @@ class TranslationReport:
         return {
             "question": self.question,
             "faults": [record.as_dict() for record in self.faults],
+            "lint_rejected": self.lint_rejected,
+            "lint_codes": dict(sorted(self.lint_codes.items())),
             "deadline_budget": self.deadline_budget,
             "deadline_stage": self.deadline_stage,
             "degraded": self.degraded,
@@ -621,6 +639,8 @@ class TranslationReport:
                 FaultRecord.from_dict(record)
                 for record in data.get("faults", [])
             ],
+            lint_rejected=data.get("lint_rejected", 0),
+            lint_codes=dict(data.get("lint_codes") or {}),
             deadline_budget=data.get("deadline_budget"),
             deadline_stage=data.get("deadline_stage"),
             trace=data.get("trace"),
@@ -693,7 +713,7 @@ def guarded_call(
     for attempt in range(policy.max_retries + 1):
         try:
             value = fn()
-        except Exception as exc:  # noqa: BLE001 — isolation boundary
+        except Exception as exc:  # repolint: allow[broad-except] — isolation boundary
             last_exc = exc
             if is_transient(exc) and attempt < policy.max_retries:
                 continue

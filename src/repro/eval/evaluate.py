@@ -85,6 +85,25 @@ class EvalResult:
                 counts[fault.stage] = counts.get(fault.stage, 0) + 1
         return counts
 
+    @property
+    def lint_rejected_total(self) -> int:
+        """Candidates pruned by the semantic-lint gate, across all examples."""
+        return sum(
+            r.report.lint_rejected
+            for r in self.records
+            if r.report is not None
+        )
+
+    def lint_reject_counts(self) -> dict[str, int]:
+        """Lint rejections per diagnostic code, across all examples."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.report is None:
+                continue
+            for code, count in record.report.lint_codes.items():
+                counts[code] = counts.get(code, 0) + count
+        return counts
+
     def em_by_hardness(self) -> dict[str, float]:
         buckets: dict[str, list[bool]] = {h.value: [] for h in Hardness}
         for record in self.records:
@@ -218,7 +237,7 @@ def evaluate_metasql(
                     execution_hit = execution_match(
                         predictions[0], example.sql, db, report=outcome.report
                     )
-                except Exception as exc:  # noqa: BLE001 — eval isolation
+                except Exception as exc:  # repolint: allow[broad-except] — eval isolation
                     outcome.report.record_exception(
                         "execute", exc, fallback="no-execution"
                     )
@@ -252,6 +271,8 @@ def _journal_line(record: EvalRecord) -> dict:
         "ok": bool(record.predictions),
         "degraded": record.degraded,
         "deadline_expired": report.deadline_expired,
+        "lint_rejected": report.lint_rejected,
+        "lint_codes": dict(sorted(report.lint_codes.items())),
         "faults": [
             {"stage": f.stage, "fallback": f.fallback} for f in report.faults
         ],

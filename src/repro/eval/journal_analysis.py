@@ -97,6 +97,8 @@ class JournalSummary:
     serve_records: int = 0
     degraded: int = 0
     deadline_expired: int = 0
+    lint_rejected: int = 0
+    lint_codes: dict[str, int] = field(default_factory=dict)
     fault_counts: dict[str, int] = field(default_factory=dict)
     by_hardness: dict[str, HardnessBucket] = field(default_factory=dict)
     stage_latencies: dict[str, list[float]] = field(default_factory=dict)
@@ -109,6 +111,8 @@ class JournalSummary:
             "serve_records": self.serve_records,
             "degraded": self.degraded,
             "deadline_expired": self.deadline_expired,
+            "lint_rejected": self.lint_rejected,
+            "lint_codes": dict(sorted(self.lint_codes.items())),
             "fault_counts": dict(sorted(self.fault_counts.items())),
             "latency": LatencySummary.of(self.latencies).as_dict(),
             "by_hardness": {
@@ -129,6 +133,15 @@ class JournalSummary:
             f"  degraded {self.degraded}, "
             f"deadline expired {self.deadline_expired}",
         ]
+        if self.lint_rejected:
+            codes = ", ".join(
+                f"{code}={count}"
+                for code, count in sorted(self.lint_codes.items())
+            )
+            lines.append(
+                f"  lint rejected {self.lint_rejected} candidates"
+                + (f" ({codes})" if codes else "")
+            )
         overall = LatencySummary.of(self.latencies)
         lines.append(
             f"  latency p50/p90/p99: {overall.p50 * 1e3:.2f}/"
@@ -196,6 +209,16 @@ def _fold_eval(summary: JournalSummary, record: dict) -> None:
 def _fold_common(summary: JournalSummary, record: dict) -> None:
     summary.degraded += bool(record.get("degraded"))
     summary.deadline_expired += bool(record.get("deadline_expired"))
+    lint_rejected = record.get("lint_rejected")
+    if isinstance(lint_rejected, int):
+        summary.lint_rejected += lint_rejected
+    lint_codes = record.get("lint_codes")
+    if isinstance(lint_codes, dict):
+        for code, count in lint_codes.items():
+            if isinstance(count, int):
+                summary.lint_codes[code] = (
+                    summary.lint_codes.get(code, 0) + count
+                )
     for fault in record.get("faults", ()):
         if isinstance(fault, dict):
             stage = fault.get("stage", "unknown")

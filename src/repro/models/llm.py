@@ -42,6 +42,7 @@ from repro.sqlkit.ast import (
     SetQuery,
     Star,
 )
+from repro.sqlkit.errors import SqlError
 from repro.sqlkit.printer import to_sql
 
 
@@ -330,7 +331,7 @@ def _int_cmp_targets(query: SelectQuery, db: Database) -> list[int]:
             continue
         try:
             values = db.column_values(left.table, left.column)
-        except Exception:  # noqa: BLE001 - unknown column, skip
+        except SqlError:  # unknown table/column: not rewritable, skip
             continue
         if values and all(isinstance(v, int) for v in values):
             targets.append(index)

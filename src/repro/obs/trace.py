@@ -145,7 +145,7 @@ class Tracer:
         self._stack.append(opened)
         try:
             yield opened
-        except BaseException as exc:
+        except BaseException as exc:  # repolint: allow[broad-except] — record status, re-raise
             opened.status = "error"
             opened.error = f"{type(exc).__name__}: {exc}"
             raise

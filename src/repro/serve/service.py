@@ -303,7 +303,7 @@ class TranslationService:
                 self._m_in_flight.inc()
                 try:
                     result = self._handle(job)
-                except BaseException as exc:  # noqa: BLE001 — to the future
+                except BaseException as exc:  # repolint: allow[broad-except] — to the future
                     with self._lock:
                         self._failed += 1
                         self._in_flight -= 1
@@ -364,6 +364,8 @@ class TranslationService:
             "translations": len(result.translations),
             "degraded": report.degraded,
             "deadline_expired": report.deadline_expired,
+            "lint_rejected": report.lint_rejected,
+            "lint_codes": dict(sorted(report.lint_codes.items())),
             "faults": [
                 {"stage": f.stage, "fallback": f.fallback}
                 for f in report.faults
@@ -379,7 +381,7 @@ class TranslationService:
         }
         try:
             self._journal.append(record)
-        except Exception:  # noqa: BLE001 — journalling never fails a request
+        except Exception:  # repolint: allow[broad-except] — journalling never fails a request
             pass
 
     @staticmethod

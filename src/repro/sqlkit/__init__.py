@@ -5,8 +5,13 @@ depends on: parsing SQL text into a Spider-compatible AST, printing canonical
 SQL, Spider exact-set-match comparison, the SQL hardness criteria (levels and
 MetaSQL's numeric rating), decomposition of a query into semantic units, and
 the rule-based SQL-unit-to-NL templates used by the second-stage ranker.
+
+It also hosts the static-analysis layer (PR 4): a generic AST walker and a
+schema-aware semantic analyzer (:mod:`repro.sqlkit.analyze`) emitting typed
+:class:`~repro.sqlkit.diagnostics.Diagnostic` records with stable codes.
 """
 
+from repro.sqlkit.analyze import SemanticAnalyzer, analyze, walk
 from repro.sqlkit.ast import (
     AggExpr,
     Arith,
@@ -24,6 +29,13 @@ from repro.sqlkit.ast import (
     ValueExpr,
 )
 from repro.sqlkit.compare import exact_match
+from repro.sqlkit.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    error_codes,
+    has_errors,
+    render_diagnostics,
+)
 from repro.sqlkit.errors import SqlError, SqlParseError, SqlTokenError
 from repro.sqlkit.hardness import Hardness, hardness_level, hardness_rating
 from repro.sqlkit.parser import parse_sql
@@ -60,4 +72,12 @@ __all__ = [
     "decompose",
     "describe_query",
     "describe_unit",
+    "SemanticAnalyzer",
+    "analyze",
+    "walk",
+    "Diagnostic",
+    "DIAGNOSTIC_CODES",
+    "error_codes",
+    "has_errors",
+    "render_diagnostics",
 ]

@@ -4,6 +4,10 @@ import pytest
 
 from repro.core.generation import CandidateGenerator, GeneratorConfig
 from repro.core.metadata import QueryMetadata, extract_metadata
+from repro.core.resilience import TranslationReport
+from repro.models.base import Candidate
+from repro.obs.metrics import MetricsRegistry, registry_scope
+from repro.sqlkit.parser import parse_sql
 from repro.sqlkit.printer import to_sql
 
 
@@ -98,3 +102,114 @@ class TestGenerate:
         raw_text = " ".join(to_sql(c.query) for c in raw)
         grounded_text = " ".join(to_sql(c.query) for c in grounded)
         assert raw_text.count("'value'") >= grounded_text.count("'value'")
+
+
+class _FixedModel:
+    """Stub model decoding a fixed SQL list regardless of conditioning."""
+
+    name = "fixed"
+
+    def __init__(self, sqls):
+        self.sqls = sqls
+
+    def translate(self, question, db, metadata=None, beam_size=5):
+        return [
+            Candidate(query=parse_sql(sql), score=-float(i))
+            for i, sql in enumerate(self.sqls[:beam_size])
+        ]
+
+
+class TestLintGate:
+    """The semantic-lint gate between dedup and collection."""
+
+    VALID = "SELECT name FROM country"
+    INVALID = "SELECT flavour FROM country"  # SQL002 unknown column
+    SUSPECT = "SELECT name FROM country LIMIT 3"  # SQL101 warning
+
+    def _generate(self, db, sqls, config=None, report=None):
+        generator = CandidateGenerator(
+            _FixedModel(sqls),
+            config
+            or GeneratorConfig(
+                include_unconditioned=True, ground_placeholder_values=False
+            ),
+        )
+        return generator.generate("q", db, [], report=report)
+
+    def test_invalid_candidate_pruned(self, world_db):
+        report = TranslationReport()
+        candidates = self._generate(
+            world_db, [self.INVALID, self.VALID], report=report
+        )
+        assert [to_sql(c.query) for c in candidates] == [self.VALID]
+        assert report.lint_rejected == 1
+        assert report.lint_codes == {"SQL002": 1}
+        assert not report.degraded  # pruning is not a fault
+        assert report.faults == []
+
+    def test_warnings_annotate_surviving_candidate(self, world_db):
+        candidates = self._generate(world_db, [self.SUSPECT])
+        assert len(candidates) == 1
+        assert [d.code for d in candidates[0].diagnostics] == ["SQL101"]
+
+    def test_prune_disabled_keeps_invalid(self, world_db):
+        config = GeneratorConfig(
+            include_unconditioned=True,
+            ground_placeholder_values=False,
+            lint_prune_errors=False,
+        )
+        candidates = self._generate(
+            world_db, [self.INVALID, self.VALID], config=config
+        )
+        assert len(candidates) == 2
+        assert any(
+            d.code == "SQL002" for d in candidates[0].diagnostics
+        )
+
+    def test_lint_disabled_is_passthrough(self, world_db):
+        config = GeneratorConfig(
+            include_unconditioned=True,
+            ground_placeholder_values=False,
+            lint_candidates=False,
+        )
+        report = TranslationReport()
+        candidates = self._generate(
+            world_db, [self.INVALID, self.VALID], config=config, report=report
+        )
+        assert len(candidates) == 2
+        assert report.lint_rejected == 0
+        assert all(c.diagnostics == () for c in candidates)
+
+    def test_rejections_counted_in_metrics(self, world_db):
+        registry = MetricsRegistry()
+        with registry_scope(registry):
+            self._generate(world_db, [self.INVALID, self.VALID])
+        counter = registry.counter(
+            "metasql_candidates_lint_rejected_total", labelnames=("code",)
+        )
+        assert counter.labels(code="SQL002").value == 1.0
+
+    def test_analyzer_crash_fails_open(self, world_db, monkeypatch):
+        from repro.sqlkit.analyze import SemanticAnalyzer
+
+        def boom(self, query):
+            raise RuntimeError("analyzer exploded")
+
+        monkeypatch.setattr(SemanticAnalyzer, "analyze", boom)
+        report = TranslationReport()
+        candidates = self._generate(
+            world_db, [self.INVALID, self.VALID], report=report
+        )
+        # Gate fails open: both candidates survive, the crash is recorded.
+        assert len(candidates) == 2
+        assert report.lint_rejected == 0
+        stages = [fault.stage for fault in report.faults]
+        assert stages == ["lint", "lint"]
+        assert all(f.fallback == "keep" for f in report.faults)
+
+    def test_report_round_trip_preserves_lint_counts(self, world_db):
+        report = TranslationReport()
+        self._generate(world_db, [self.INVALID, self.VALID], report=report)
+        restored = TranslationReport.from_dict(report.as_dict())
+        assert restored.lint_rejected == 1
+        assert restored.lint_codes == {"SQL002": 1}

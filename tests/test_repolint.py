@@ -1,0 +1,326 @@
+"""repolint: per-rule unit tests, pragma handling, src/ enforcement.
+
+The final test is the enforcement gate: the repo's own ``src/`` tree must
+stay clean under every repolint rule, so an invariant regression fails
+tier-1 rather than waiting for CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+pytestmark = pytest.mark.lint
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "repolint.py"
+
+spec = importlib.util.spec_from_file_location("repolint", TOOL)
+repolint = importlib.util.module_from_spec(spec)
+sys.modules["repolint"] = repolint  # dataclasses resolve the module by name
+spec.loader.exec_module(repolint)
+
+
+def rules_of(source: str) -> list[str]:
+    return [f.rule for f in repolint.lint_source(textwrap.dedent(source))]
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+
+
+def test_wall_clock_call_flagged():
+    assert rules_of("import time\nstamp = time.time()\n") == ["wall-clock"]
+
+
+def test_datetime_now_flagged():
+    source = "import datetime\nnow = datetime.datetime.now()\n"
+    assert rules_of(source) == ["wall-clock"]
+
+
+def test_clock_reference_as_default_allowed():
+    source = """
+        import time
+
+        def __init__(self, clock=None):
+            self._clock = clock if clock is not None else time.time
+    """
+    assert rules_of(source) == []
+
+
+def test_perf_counter_not_flagged():
+    # Monotonic duration measurement is fine; the rule targets wall time.
+    assert rules_of("import time\nt = time.perf_counter()\n") == []
+
+
+# ----------------------------------------------------------------------
+# broad-except
+
+
+def test_broad_except_flagged():
+    source = """
+        try:
+            pass
+        except Exception:
+            pass
+    """
+    assert rules_of(source) == ["broad-except"]
+
+
+def test_bare_except_flagged():
+    assert rules_of("try:\n    pass\nexcept:\n    pass\n") == ["broad-except"]
+
+
+def test_narrow_except_allowed():
+    assert rules_of("try:\n    pass\nexcept ValueError:\n    pass\n") == []
+
+
+def test_pragma_on_line_suppresses():
+    source = """
+        try:
+            pass
+        except Exception:  # repolint: allow[broad-except] — isolation
+            pass
+    """
+    assert rules_of(source) == []
+
+
+def test_pragma_on_line_above_suppresses():
+    source = """
+        try:
+            pass
+        # repolint: allow[broad-except] — isolation boundary
+        except Exception:
+            pass
+    """
+    assert rules_of(source) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    source = """
+        try:
+            pass
+        except Exception:  # repolint: allow[wall-clock]
+            pass
+    """
+    assert rules_of(source) == ["broad-except"]
+
+
+# ----------------------------------------------------------------------
+# lock-callback
+
+
+def test_callback_under_lock_flagged():
+    source = """
+        class Breaker:
+            def trip(self):
+                with self._lock:
+                    self.on_transition("open")
+    """
+    assert rules_of(source) == ["lock-callback"]
+
+
+def test_notify_under_lock_flagged():
+    source = """
+        class Breaker:
+            def trip(self):
+                with self._lock:
+                    self._notify()
+    """
+    assert rules_of(source) == ["lock-callback"]
+
+
+def test_callback_after_lock_allowed():
+    source = """
+        class Breaker:
+            def trip(self):
+                with self._lock:
+                    self._pending.append("open")
+                self.on_transition("open")
+    """
+    assert rules_of(source) == []
+
+
+def test_nested_function_resets_lock_context():
+    # A function *defined* inside a with-lock body runs later, outside
+    # the lock; calls in its body must not be flagged.
+    source = """
+        class Service:
+            def submit(self):
+                with self._lock:
+                    def done():
+                        self.on_finish()
+                    self._callbacks.append(done)
+    """
+    assert rules_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# contextvar-reset
+
+
+def test_token_without_reset_flagged():
+    source = """
+        def use(tracer):
+            token = _TRACER.set(tracer)
+            work()
+    """
+    assert rules_of(source) == ["contextvar-reset"]
+
+
+def test_token_reset_in_finally_allowed():
+    source = """
+        def use(tracer):
+            token = _TRACER.set(tracer)
+            try:
+                work()
+            finally:
+                _TRACER.reset(token)
+    """
+    assert rules_of(source) == []
+
+
+def test_non_token_set_call_ignored():
+    assert rules_of("def f(s):\n    found = s.set(1)\n    return found\n") == []
+
+
+# ----------------------------------------------------------------------
+# fsync-rename
+
+
+def test_rename_without_fsync_flagged():
+    source = """
+        import os
+
+        def promote(a, b):
+            os.replace(a, b)
+    """
+    assert rules_of(source) == ["fsync-rename"]
+
+
+def test_rename_with_fsync_allowed():
+    source = """
+        import os
+
+        def promote(handle, a, b):
+            os.fsync(handle.fileno())
+            os.replace(a, b)
+    """
+    assert rules_of(source) == []
+
+
+def test_rename_with_fsync_helper_allowed():
+    source = """
+        import os
+
+        def promote(a, b):
+            os.rename(a, b)
+            _fsync_dir(b)
+    """
+    assert rules_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# unseeded-random
+
+
+def test_module_level_random_flagged():
+    assert rules_of("import random\nx = random.random()\n") == [
+        "unseeded-random"
+    ]
+
+
+def test_unseeded_random_instance_flagged():
+    assert rules_of("import random\nrng = random.Random()\n") == [
+        "unseeded-random"
+    ]
+
+
+def test_seeded_random_instance_allowed():
+    assert rules_of("import random\nrng = random.Random(7)\n") == []
+
+
+def test_unseeded_default_rng_flagged():
+    source = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert rules_of(source) == ["unseeded-random"]
+
+
+def test_seeded_default_rng_allowed():
+    source = "import numpy as np\nrng = np.random.default_rng(11)\n"
+    assert rules_of(source) == []
+
+
+def test_legacy_numpy_global_rng_flagged():
+    source = "import numpy as np\nx = np.random.rand(3)\n"
+    assert rules_of(source) == ["unseeded-random"]
+
+
+# ----------------------------------------------------------------------
+# Finding plumbing + CLI.
+
+
+def test_findings_sorted_and_rendered():
+    source = "import time\nb = time.time()\na = time.time()\n"
+    findings = repolint.lint_source(source, "mod.py")
+    assert [f.line for f in findings] == [2, 3]
+    assert findings[0].render().startswith("mod.py:2: [wall-clock]")
+    assert findings[0].as_dict()["rule"] == "wall-clock"
+
+
+def test_cli_clean_run(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_json_output(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nx = time.time()\n")
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), str(bad), "--format", "json"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "wall-clock"
+    assert payload["findings"][0]["line"] == 2
+
+
+def test_cli_list_rules():
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), "--list"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    for rule in repolint.RULES:
+        assert rule in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Enforcement: the repo's own source tree must stay clean.
+
+
+def test_src_tree_is_clean():
+    findings = repolint.lint_paths([str(REPO / "src")])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"repolint findings in src/:\n{rendered}"
+
+
+def test_tools_tree_is_clean():
+    findings = repolint.lint_paths([str(REPO / "tools")])
+    assert findings == [], [f.render() for f in findings]

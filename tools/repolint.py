@@ -1,0 +1,469 @@
+#!/usr/bin/env python
+"""Repo-invariant self-lint for the MetaSQL reproduction codebase.
+
+The PR-1..3 layers (resilience, serving, observability) rely on a handful
+of coding invariants that plain style checkers cannot see.  This tool
+walks Python sources with :mod:`ast` and enforces them:
+
+``wall-clock``
+    No direct calls to ``time.time()`` / ``datetime.now()`` /
+    ``datetime.utcnow()``.  Every timestamp must flow through an
+    injectable clock (the ``clock=`` constructor idiom) so tests can run
+    deterministically.  *References* without a call — e.g.
+    ``clock or time.time`` as a default — are fine.
+
+``broad-except``
+    ``except Exception`` / ``except BaseException`` / bare ``except``
+    must carry an explicit pragma.  Fault isolation is deliberate in this
+    repo, so broad handlers are allowed — but only when annotated with a
+    justification the linter can see.
+
+``lock-callback``
+    No invocation of observer callbacks (``self.on_*`` attributes or
+    ``self._notify``) lexically inside a ``with self._lock:`` body.
+    Observers run arbitrary user code; calling them under the lock risks
+    deadlock (``threading.Lock`` is not reentrant) and lock-hold blowup.
+    The repo idiom is queue-under-lock, flush-outside (see
+    ``CircuitBreaker._notify``).
+
+``contextvar-reset``
+    A ``token = <var>.set(...)`` assignment must be paired with a
+    ``.reset(token)`` inside a ``finally`` block of the same function, so
+    ambient state (tracer, registry, deadline, budget) never leaks across
+    translations.  Only names ending in ``token`` are treated as
+    ContextVar tokens.
+
+``fsync-rename``
+    A function that calls ``os.rename`` / ``os.replace`` (the atomic
+    promote step of a persist path) must also call ``os.fsync`` — or a
+    helper whose name contains ``fsync`` — so the renamed content is
+    durable before the pointer flips.
+
+``unseeded-random``
+    No unseeded randomness: ``random.<fn>()`` module-level calls,
+    zero-argument ``random.Random()``, zero-argument
+    ``np.random.default_rng()``, and legacy ``np.random.<fn>`` globals
+    are all flagged.  Every RNG must be seeded or injected so runs are
+    reproducible.
+
+Suppressing a finding
+---------------------
+Put ``# repolint: allow[rule-name]`` (comma-separated list allowed) on
+the offending line or the line directly above it::
+
+    except Exception:  # repolint: allow[broad-except] — observer isolation
+
+Usage
+-----
+::
+
+    python tools/repolint.py src/ [more paths...] [--format text|json]
+    python tools/repolint.py --list
+
+Exit status is 1 when any finding is reported, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+#: rule-name -> one-line description (the ``--list`` output).
+RULES: dict[str, str] = {
+    "wall-clock": (
+        "direct time.time()/datetime.now() call; use an injectable clock"
+    ),
+    "broad-except": (
+        "broad except handler without a repolint pragma justifying it"
+    ),
+    "lock-callback": (
+        "observer callback invoked while holding self._lock"
+    ),
+    "contextvar-reset": (
+        "ContextVar token is never reset in a finally block"
+    ),
+    "fsync-rename": (
+        "os.rename/os.replace without an fsync in the same function"
+    ),
+    "unseeded-random": (
+        "unseeded RNG (module-level random.*, Random(), default_rng())"
+    ),
+}
+
+_PRAGMA = re.compile(r"#\s*repolint:\s*allow\[([a-z\-,\s]+)\]")
+
+#: Wall-clock callables that must never be invoked directly.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: random-module helpers whose module-level call is unseeded by design.
+_RANDOM_MODULE_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "betavariate",
+    "expovariate",
+    "triangular",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _pragmas(source: str) -> dict[int, set[str]]:
+    """Line number -> set of rule names allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        allowed[lineno] = {rule for rule in rules if rule}
+    return allowed
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    """Whether *node* is ``self._lock`` (or ``self.<...>_lock``)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (node.attr == "_lock" or node.attr.endswith("_lock"))
+    )
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass AST walker applying every rule to one module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+        self._lock_depth = 0
+        self._function_stack: list[ast.AST] = []
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                message=message,
+            )
+        )
+
+    # -- structural visitors -------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(
+            _is_self_lock(item.context_expr) for item in node.items
+        )
+        if holds_lock:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if holds_lock:
+            self._lock_depth -= 1
+
+    def _visit_function(self, node) -> None:
+        self._function_stack.append(node)
+        saved_depth, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = saved_depth
+        self._function_stack.pop()
+        self._check_contextvar_tokens(node)
+        self._check_fsync_rename(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- broad-except ---------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        )
+        if broad:
+            caught = node.type.id if node.type is not None else "bare"
+            self.report(
+                "broad-except",
+                node,
+                f"broad except ({caught}) needs "
+                "'# repolint: allow[broad-except]' with a justification",
+            )
+        self.generic_visit(node)
+
+    # -- call-driven rules ---------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        self._check_wall_clock(node, dotted)
+        self._check_lock_callback(node)
+        self._check_unseeded_random(node, dotted)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str | None) -> None:
+        if dotted is None:
+            return
+        parts = tuple(dotted.split("."))
+        if parts[-2:] in _WALL_CLOCK_CALLS or dotted in (
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+        ):
+            self.report(
+                "wall-clock",
+                node,
+                f"direct {dotted}() call; route timestamps through an "
+                "injectable clock",
+            )
+
+    def _check_lock_callback(self, node: ast.Call) -> None:
+        if self._lock_depth == 0:
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            return
+        if func.attr.startswith("on_") or func.attr == "_notify":
+            self.report(
+                "lock-callback",
+                node,
+                f"self.{func.attr}() invoked under self._lock; queue the "
+                "event and flush after releasing the lock",
+            )
+
+    def _check_unseeded_random(
+        self, node: ast.Call, dotted: str | None
+    ) -> None:
+        if dotted is None:
+            return
+        unseeded = not node.args and not node.keywords
+        if dotted == "random.Random" and unseeded:
+            self.report(
+                "unseeded-random",
+                node,
+                "random.Random() without a seed; pass an explicit seed",
+            )
+        elif dotted.startswith("random.") and (
+            dotted.split(".", 1)[1] in _RANDOM_MODULE_FNS
+        ):
+            self.report(
+                "unseeded-random",
+                node,
+                f"module-level {dotted}() uses the shared unseeded RNG; "
+                "use a seeded random.Random instance",
+            )
+        elif dotted.endswith("random.default_rng") and unseeded:
+            self.report(
+                "unseeded-random",
+                node,
+                "default_rng() without a seed; pass an explicit seed",
+            )
+        elif (
+            (".random." in dotted or dotted.startswith("numpy.random."))
+            and not dotted.endswith("default_rng")
+            and dotted.rsplit(".", 2)[-2] == "random"
+        ):
+            self.report(
+                "unseeded-random",
+                node,
+                f"legacy numpy global-state RNG {dotted}(); use a seeded "
+                "np.random.default_rng Generator",
+            )
+
+    # -- function-scoped rules -----------------------------------------
+
+    def _check_contextvar_tokens(self, node) -> None:
+        token_sets: dict[str, ast.AST] = {}
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+                and child.targets[0].id.lower().endswith("token")
+                and isinstance(child.value, ast.Call)
+                and isinstance(child.value.func, ast.Attribute)
+                and child.value.func.attr == "set"
+            ):
+                token_sets[child.targets[0].id] = child
+        if not token_sets:
+            return
+        reset_names: set[str] = set()
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Try) or not child.finalbody:
+                continue
+            for stmt in child.finalbody:
+                for call in ast.walk(stmt):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "reset"
+                        and len(call.args) == 1
+                        and isinstance(call.args[0], ast.Name)
+                    ):
+                        reset_names.add(call.args[0].id)
+        for name, assign in token_sets.items():
+            if name not in reset_names:
+                self.report(
+                    "contextvar-reset",
+                    assign,
+                    f"ContextVar token '{name}' is set but never "
+                    "reset in a finally block",
+                )
+
+    def _check_fsync_rename(self, node) -> None:
+        renames: list[ast.Call] = []
+        synced = False
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            dotted = _dotted(child.func)
+            name = (
+                dotted
+                if dotted is not None
+                else (
+                    child.func.id
+                    if isinstance(child.func, ast.Name)
+                    else ""
+                )
+            )
+            if name in ("os.rename", "os.replace"):
+                renames.append(child)
+            elif "fsync" in name.rsplit(".", 1)[-1]:
+                synced = True
+        if renames and not synced:
+            for call in renames:
+                self.report(
+                    "fsync-rename",
+                    call,
+                    f"{_dotted(call.func)}() without an os.fsync in the "
+                    "same function; the rename may promote torn data",
+                )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text, honouring inline pragmas."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path)
+    checker.visit(tree)
+    allowed = _pragmas(source)
+    kept = []
+    for finding in checker.findings:
+        rules = allowed.get(finding.line, set()) | allowed.get(
+            finding.line - 1, set()
+        )
+        if finding.rule not in rules:
+            kept.append(finding)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.rule))
+
+
+def iter_python_files(paths: list[str]) -> list[pathlib.Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(paths: list[str]) -> list[Finding]:
+    """Lint every ``.py`` file under *paths*."""
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file))
+        )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repolint", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule:18s} {summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list)")
+
+    findings = lint_paths(args.paths)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
