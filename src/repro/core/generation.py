@@ -46,6 +46,9 @@ class GeneratedCandidate:
     #: Warning-severity analyzer findings for the candidate (annotation
     #: only; error-severity findings prune before a candidate is built).
     diagnostics: tuple[Diagnostic, ...] = ()
+    #: Canonical SQL text, rendered once by the generator's dedupe and
+    #: reused as the memo key for downstream surface/phrase renderings.
+    sql_text: str = ""
 
 
 @dataclass
@@ -150,6 +153,7 @@ class CandidateGenerator:
                     score=candidate.score,
                     metadata=metadata,
                     diagnostics=diagnostics,
+                    sql_text=key,
                 )
             )
 

@@ -68,11 +68,16 @@ from repro.data.dataset import Dataset
 from repro.models.base import TranslationModel
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, current_tracer, trace_scope
+from repro.perf.cache import caching_enabled
+from repro.perf.memo import (
+    cached_normal_sql,
+    cached_sql_surface,
+    cached_unit_phrases,
+)
 from repro.schema.database import Database
 from repro.sqlkit.ast import Query
 from repro.sqlkit.errors import PipelineStateError
 from repro.sqlkit.printer import to_sql
-from repro.sqlkit.sql2nl import unit_phrases
 
 
 @dataclass
@@ -128,6 +133,35 @@ def _record_failpoint_trigger(site: str) -> None:
 
 # The process-wide injector reports armed firings to the metrics layer.
 FAULTS.on_trigger = _record_failpoint_trigger
+
+
+def _dedupe_candidates(
+    generated: list[GeneratedCandidate],
+    surfaces: list[str],
+) -> tuple[list[GeneratedCandidate], list[str], int]:
+    """Drop candidates whose normalized SQL duplicates another's.
+
+    The generator already removes byte-identical SQL *within* one
+    candidate set, but distinct metadata compositions can still yield
+    queries that normalize to the same canonical form; featurizing and
+    scoring each copy is pure waste.  The best beam score survives and
+    the original candidate order is preserved.  Returns the kept
+    candidates, their surfaces, and the number of duplicates dropped.
+    """
+    best: dict[str, int] = {}
+    for position, candidate in enumerate(generated):
+        key = cached_normal_sql(candidate.query, candidate.sql_text or None)
+        held = best.get(key)
+        if held is None or generated[held].score < candidate.score:
+            best[key] = position
+    if len(best) == len(generated):
+        return generated, surfaces, 0
+    keep = sorted(best.values())
+    return (
+        [generated[i] for i in keep],
+        [surfaces[i] for i in keep],
+        len(generated) - len(keep),
+    )
 
 
 @dataclass(frozen=True)
@@ -329,8 +363,12 @@ class MetaSQL:
             try:
                 unit_target = similarity_unit(candidate.query, example.sql)
                 target10 = similarity_score(candidate.query, example.sql)
-                surface = sql_surface(candidate.query, schema)
-                phrases = tuple(unit_phrases(candidate.query, schema))
+                surface = cached_sql_surface(
+                    candidate.query, schema, sql_text=candidate.sql_text or None
+                )
+                phrases = cached_unit_phrases(
+                    candidate.query, schema, sql_text=candidate.sql_text or None
+                )
             except Exception as exc:  # repolint: allow[broad-except] — candidate isolation
                 if not policy.isolate_candidates:
                     raise
@@ -363,7 +401,7 @@ class MetaSQL:
             items.append(
                 ListItem(
                     surface=surface,
-                    phrases=tuple(unit_phrases(example.sql, schema)),
+                    phrases=cached_unit_phrases(example.sql, schema),
                     target=10.0,
                 )
             )
@@ -647,7 +685,11 @@ class MetaSQL:
             kept: list[GeneratedCandidate] = []
             for index, candidate in enumerate(generated):
                 try:
-                    surface = sql_surface(candidate.query, schema)
+                    surface = cached_sql_surface(
+                        candidate.query,
+                        schema,
+                        sql_text=candidate.sql_text or None,
+                    )
                 except Exception as exc:  # repolint: allow[broad-except] — isolation
                     if not policy.isolate_candidates:
                         raise
@@ -657,8 +699,15 @@ class MetaSQL:
                     continue
                 surfaces.append(surface)
                 kept.append(candidate)
-            generated = kept
+            generated, surfaces, deduped = _dedupe_candidates(kept, surfaces)
             span.attributes["candidates"] = len(generated)
+            span.attributes["deduped"] = deduped
+            if deduped:
+                registry.counter(
+                    "metasql_candidates_deduped_total",
+                    "Duplicate candidates (same normalized SQL) dropped "
+                    "before stage-1 scoring.",
+                ).inc(deduped)
             if report.lint_rejected:
                 span.attributes["lint_rejected"] = report.lint_rejected
             registry.counter(
@@ -685,6 +734,7 @@ class MetaSQL:
                 return self._ranked_from_pruned(
                     generated, generation_order()
                 )
+            span.attributes["batch_size"] = len(surfaces)
             pruned = self._stage1_pruned(question, surfaces, policy, report)
             if pruned is None:
                 if not policy.stage1_fallback:
@@ -701,6 +751,7 @@ class MetaSQL:
                 deadline, report, "stage2", "stage1-order"
             ):
                 return self._ranked_from_pruned(generated, pruned)
+            span.attributes["batch_size"] = len(pruned)
             ranked = self._stage2_ranked(
                 question, generated, surfaces, pruned, schema, policy, report
             )
@@ -799,8 +850,10 @@ class MetaSQL:
             rows: list[tuple[int, float]] = []
             for index, stage1_score in pruned:
                 try:
-                    phrases = tuple(
-                        unit_phrases(generated[index].query, schema)
+                    phrases = cached_unit_phrases(
+                        generated[index].query,
+                        schema,
+                        sql_text=generated[index].sql_text or None,
                     )
                 except Exception as exc:  # repolint: allow[broad-except] — isolation
                     if not policy.isolate_candidates:
@@ -847,6 +900,42 @@ class MetaSQL:
                 )
             )
         return self._ranked_from_pruned(generated, pruned)
+
+    def translate_many(
+        self,
+        requests,
+        deadline: Deadline | None = None,
+    ) -> list[RankedResult]:
+        """Batched driver: rank many ``(question, db)`` requests.
+
+        Distinct questions are pushed through the stage-1 query tower in
+        one batched forward pass up front (priming the embedding cache),
+        then each request runs through :meth:`translate_ranked_report`;
+        repeated questions, repeated candidate SQL, and shared phrase
+        renderings amortize featurization across the whole batch.  Used
+        by :func:`repro.eval.evaluate.evaluate_metasql` and the
+        experiment drivers.
+        """
+        items = [(question, db) for question, db in requests]
+        if not self._trained:
+            raise PipelineStateError(
+                "MetaSQL pipeline is not trained; call train() or "
+                "load_pipeline() before translating"
+            )
+        self._prewarm_stage1([question for question, __ in items])
+        return [
+            self.translate_ranked_report(question, db, deadline=deadline)
+            for question, db in items
+        ]
+
+    def _prewarm_stage1(self, questions: list[str]) -> None:
+        """Best-effort batch warm-up of the stage-1 question embeddings."""
+        if not self._stage1_ok or not caching_enabled():
+            return
+        try:
+            self.stage1.warm_questions(list(dict.fromkeys(questions)))
+        except Exception:  # repolint: allow[broad-except] — prewarm is best-effort
+            pass
 
     def translate_ranked(
         self,

@@ -34,6 +34,17 @@ class EncoderTower(Module):
         x = Tensor(features)
         return self.output(self.hidden(x).tanh())
 
+    def embed_array(self, features: np.ndarray) -> np.ndarray:
+        """No-grad batched forward for the inference hot path.
+
+        Same arithmetic as :meth:`encode_features` without building the
+        autograd graph; *features* is a 2-D ``(batch, buckets)`` array.
+        """
+        hidden = np.tanh(
+            features @ self.hidden.weight.data + self.hidden.bias.data
+        )
+        return hidden @ self.output.weight.data + self.output.bias.data
+
     def encode(self, text: str) -> Tensor:
         """Embed raw text."""
         return self.encode_features(self.featurizer.transform(text))

@@ -59,3 +59,14 @@ class MLP(Module):
         for layer in self.layers[:-1]:
             x = layer(x).tanh()
         return self.layers[-1](x)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """No-grad batched forward for the inference hot path.
+
+        Same arithmetic as :meth:`__call__` without building the
+        autograd graph; *x* is a 2-D ``(batch, features)`` array.
+        """
+        for layer in self.layers[:-1]:
+            x = np.tanh(x @ layer.weight.data + layer.bias.data)
+        last = self.layers[-1]
+        return x @ last.weight.data + last.bias.data

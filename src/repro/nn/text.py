@@ -4,13 +4,19 @@ Replaces pre-trained sentence encoders: text is mapped to a fixed-size sparse
 bag-of-features vector (word unigrams + bigrams + character trigrams hashed
 into a fixed number of buckets, TF-IDF weighted), which the trainable
 :mod:`repro.nn.encoder` towers project into a dense embedding space.
+
+Both vectorizers share one feature-accumulation path
+(:func:`_count_matrix`), so single-text ``transform`` is exactly the
+one-row case of ``transform_many``; token hashes are memoized
+(:func:`_fnv1a` keeps a bounded per-token memo independent of the bucket
+count) because the same question/SQL tokens recur across every candidate
+of every request.
 """
 
 from __future__ import annotations
 
-import math
+import functools
 import re
-from collections import Counter
 
 import numpy as np
 
@@ -22,13 +28,19 @@ def tokenize_text(text: str) -> list[str]:
     return _WORD_RE.findall(text.lower())
 
 
-def _hash_token(token: str, buckets: int) -> int:
-    """Stable string hash (FNV-1a) into ``buckets``."""
+@functools.lru_cache(maxsize=1 << 16)
+def _fnv1a(token: str) -> int:
+    """Memoized 64-bit FNV-1a hash of *token* (bucket-count independent)."""
     value = 0xCBF29CE484222325
     for char in token.encode("utf-8"):
         value ^= char
         value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return value % buckets
+    return value
+
+
+def _hash_token(token: str, buckets: int) -> int:
+    """Stable string hash (FNV-1a) into ``buckets``."""
+    return _fnv1a(token) % buckets
 
 
 def text_features(text: str, include_chars: bool = True) -> list[str]:
@@ -45,6 +57,22 @@ def text_features(text: str, include_chars: bool = True) -> list[str]:
     return features
 
 
+def _count_matrix(
+    texts: list[str], buckets: int, include_chars: bool
+) -> np.ndarray:
+    """Shared accumulation path: hashed-feature counts, one row per text."""
+    matrix = np.zeros((len(texts), buckets))
+    for row, text in zip(matrix, texts):
+        for feature in text_features(text, include_chars):
+            row[_hash_token(feature, buckets)] += 1.0
+    return matrix
+
+
+def _l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.where(norms == 0.0, 1.0, norms)
+
+
 class HashingVectorizer:
     """Stateless hashed bag-of-features vectorizer."""
 
@@ -53,20 +81,19 @@ class HashingVectorizer:
         self.include_chars = include_chars
 
     def transform(self, text: str) -> np.ndarray:
-        vector = np.zeros(self.buckets)
-        for feature in text_features(text, self.include_chars):
-            vector[_hash_token(feature, self.buckets)] += 1.0
-        norm = np.linalg.norm(vector)
-        if norm > 0:
-            vector /= norm
-        return vector
+        return self.transform_many([text])[0]
+
+    def transform_many(self, texts: list[str]) -> np.ndarray:
+        matrix = _count_matrix(texts, self.buckets, self.include_chars)
+        return _l2_normalize_rows(matrix)
 
 
 class TextFeaturizer:
     """TF-IDF weighted hashing vectorizer fitted on a corpus.
 
     ``fit`` learns inverse document frequencies per hash bucket;
-    ``transform`` produces L2-normalised TF-IDF vectors.
+    ``transform``/``transform_many`` produce L2-normalised TF-IDF
+    vectors through the shared accumulation path.
     """
 
     def __init__(self, buckets: int = 2048, include_chars: bool = True) -> None:
@@ -88,19 +115,14 @@ class TextFeaturizer:
         return self
 
     def transform(self, text: str) -> np.ndarray:
-        counts: Counter[int] = Counter(
-            _hash_token(f, self.buckets)
-            for f in text_features(text, self.include_chars)
-        )
-        vector = np.zeros(self.buckets)
-        for bucket, count in counts.items():
-            vector[bucket] = 1.0 + math.log(count)
-        if self._idf is not None:
-            vector *= self._idf
-        norm = np.linalg.norm(vector)
-        if norm > 0:
-            vector /= norm
-        return vector
+        return self.transform_many([text])[0]
 
     def transform_many(self, texts: list[str]) -> np.ndarray:
-        return np.stack([self.transform(t) for t in texts])
+        counts = _count_matrix(texts, self.buckets, self.include_chars)
+        positive = counts > 0
+        tf = np.where(
+            positive, 1.0 + np.log(np.where(positive, counts, 1.0)), 0.0
+        )
+        if self._idf is not None:
+            tf *= self._idf
+        return _l2_normalize_rows(tf)

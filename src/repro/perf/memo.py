@@ -1,0 +1,68 @@
+"""Process-wide memos for SQL renderings on the ranking hot path.
+
+Every candidate that reaches the rankers is rendered three ways — its
+``sql_surface`` (canonical SQL + rule-based NL description, the stage-1
+SQL-tower input), its ``unit_phrases`` (the stage-2 fine-head inputs,
+cf. SQL2NL), and its normalized-SQL dedupe key.  The same queries recur
+across metadata compositions within one request and across requests in
+the serving layer, so each rendering is memoized in a bounded
+:class:`~repro.perf.cache.LRUCache`.
+
+Cache keys are ``(vocabulary, canonical SQL text)``: the vocabulary (a
+frozen :class:`~repro.schema.schema.Schema` or ``None`` for the default
+identifier vocabulary) is hashable and the canonical text uniquely
+identifies the AST (printer/parser round-trip), so renderings are pure
+functions of their key and never need version invalidation.  Callers
+that already hold the candidate's canonical text (the generator renders
+it for its own dedupe) pass it via ``sql_text`` to skip re-printing.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import LRUCache
+from repro.sqlkit.ast import Query
+from repro.sqlkit.normalize import normalize
+from repro.sqlkit.printer import to_sql
+from repro.sqlkit.sql2nl import describe_query, unit_phrases
+
+SURFACE_CACHE = LRUCache("sql_surface", max_entries=8192)
+PHRASE_CACHE = LRUCache("unit_phrases", max_entries=8192)
+NORMAL_CACHE = LRUCache("normal_sql", max_entries=8192)
+
+
+def cached_sql_surface(
+    query: Query, vocab=None, sql_text: str | None = None
+) -> str:
+    """Memoized stage-1 surface text: canonical SQL + NL description."""
+    text = to_sql(query) if sql_text is None else sql_text
+
+    def compute() -> str:
+        vocab_args = (vocab,) if vocab is not None else ()
+        return f"{text} ; {describe_query(query, *vocab_args)}"
+
+    return SURFACE_CACHE.get_or((vocab, text), compute)
+
+
+def cached_unit_phrases(
+    query: Query, vocab=None, sql_text: str | None = None
+) -> tuple[str, ...]:
+    """Memoized stage-2 unit phrases, one per SQL unit."""
+    text = to_sql(query) if sql_text is None else sql_text
+
+    def compute() -> tuple[str, ...]:
+        vocab_args = (vocab,) if vocab is not None else ()
+        return tuple(unit_phrases(query, *vocab_args))
+
+    return PHRASE_CACHE.get_or((vocab, text), compute)
+
+
+def cached_normal_sql(query: Query, sql_text: str | None = None) -> str:
+    """Memoized canonical text of the *normalized* query (dedupe key)."""
+    text = to_sql(query) if sql_text is None else sql_text
+    return NORMAL_CACHE.get_or(text, lambda: to_sql(normalize(query)))
+
+
+def invalidate_all() -> None:
+    """Drop every rendering memo (tests and long-lived processes)."""
+    for cache in (SURFACE_CACHE, PHRASE_CACHE, NORMAL_CACHE):
+        cache.invalidate()

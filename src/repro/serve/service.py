@@ -273,6 +273,26 @@ class TranslationService:
         self._m_queue_depth.set(self._queue.qsize())
         return future
 
+    def submit_many(
+        self,
+        requests: list[tuple[str, Database]],
+        deadline: Deadline | float | None = None,
+    ) -> "list[Future[RankedResult]]":
+        """Admit a batch of ``(question, db)`` requests, one Future each.
+
+        Admission is all-or-nothing per request, in order: the first
+        :class:`Overloaded` rejection propagates, leaving the already
+        admitted prefix in flight (their futures were returned to nobody,
+        but they still complete and feed the health window).  Workers
+        share the pipeline's bounded memo caches, so a batch with
+        repeated questions or overlapping candidate SQL amortizes
+        featurization across threads — the caches are lock-protected and
+        safe under concurrent workers.
+        """
+        return [
+            self.submit(question, db, deadline) for question, db in requests
+        ]
+
     def translate(
         self,
         question: str,

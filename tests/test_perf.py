@@ -1,0 +1,500 @@
+"""Performance-layer tests: bounded LRU caching + batched scoring.
+
+Two contracts are verified here, both load-bearing for the vectorized
+ranking hot path:
+
+1. **Equivalence** — batching and memoization never change what is
+   computed.  The batched rankers match their per-item references to
+   float precision, cold caches match disabled caches exactly (the
+   compute path is the same), and a hypothesis sweep checks the full
+   pipeline returns the same ranked SQL with caching on and off.
+2. **Boundedness** — every cache has a hard entry bound with
+   least-recently-*used* eviction, refitting invalidates, and hit/miss/
+   eviction counts flow into the ambient metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import _dedupe_candidates
+from repro.core.generation import GeneratedCandidate
+from repro.core.rank_stage1 import DualTowerRanker, RankingTriple, Stage1Config
+from repro.core.rank_stage2 import MultiGrainedRanker, Stage2Config
+from repro.nn.text import HashingVectorizer, TextFeaturizer, _fnv1a, _hash_token
+from repro.obs.metrics import MetricsRegistry, registry_scope
+from repro.perf.cache import MISS, LRUCache, caching_enabled, caching_scope
+from repro.perf.memo import (
+    cached_normal_sql,
+    cached_sql_surface,
+    cached_unit_phrases,
+)
+from repro.sqlkit.normalize import normalize
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.printer import to_sql
+from repro.sqlkit.sql2nl import describe_query, unit_phrases
+
+pytestmark = pytest.mark.perf
+
+
+# ----------------------------------------------------------------------
+# LRUCache: bound, recency, invalidation, kill-switch, metrics, threads.
+
+
+class TestLRUCache:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            LRUCache("bad", max_entries=0)
+        with pytest.raises(ValueError):
+            LRUCache("ok", max_entries=1).resize(0)
+
+    def test_hit_miss_and_store(self):
+        cache = LRUCache("t", max_entries=4)
+        assert cache.lookup("a") is MISS
+        cache.put("a", 1)
+        assert cache.lookup("a") == 1
+        assert cache.get_or("b", lambda: 2) == 2
+        assert cache.get_or("b", lambda: 99) == 2  # cached, not recomputed
+        assert cache.stats()["hits"] == 2
+        assert cache.stats()["misses"] == 2
+
+    def test_bound_enforced_with_lru_eviction(self):
+        cache = LRUCache("t", max_entries=3)
+        for key in "abc":
+            cache.put(key, key)
+        assert cache.lookup("a") == "a"  # refresh a's recency
+        cache.put("d", "d")  # bound hit: evicts b, the least recently used
+        assert len(cache) == 3
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_resize_shrinks_evicting_oldest(self):
+        cache = LRUCache("t", max_entries=4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.resize(2)
+        assert len(cache) == 2
+        assert "c" in cache and "d" in cache
+        cache.resize(8)
+        assert cache.max_entries == 8
+
+    def test_invalidate_clears_and_bumps_version(self):
+        cache = LRUCache("t", max_entries=4)
+        cache.put("a", 1)
+        version = cache.version
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.version == version + 1
+        assert cache.lookup("a") is MISS
+
+    def test_caching_scope_disables_without_changing_results(self):
+        cache = LRUCache("t", max_entries=4)
+        cache.put("a", 1)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 1
+
+        assert caching_enabled()
+        with caching_scope(False):
+            assert not caching_enabled()
+            assert cache.lookup("a") is MISS  # bypass, not eviction
+            assert cache.get_or("a", compute) == 1
+            assert cache.get_or("a", compute) == 1
+        assert len(calls) == 2  # recomputed every time while disabled
+        assert cache.lookup("a") == 1  # entry survived the scope
+        stats = cache.stats()
+        assert stats["misses"] == 0  # disabled lookups are uncounted
+        assert stats["hits"] == 1
+
+    def test_counters_flow_into_ambient_registry(self):
+        registry = MetricsRegistry()
+        with registry_scope(registry):
+            cache = LRUCache("unit", max_entries=1)
+            cache.get_or("a", lambda: 1)  # miss
+            cache.get_or("a", lambda: 1)  # hit
+            cache.put("b", 2)  # evicts a
+            hits = registry.counter(
+                "metasql_cache_hits_total", labelnames=("cache",)
+            ).labels(cache="unit")
+            misses = registry.counter(
+                "metasql_cache_misses_total", labelnames=("cache",)
+            ).labels(cache="unit")
+            evictions = registry.counter(
+                "metasql_cache_evictions_total", labelnames=("cache",)
+            ).labels(cache="unit")
+            assert hits.value == 1
+            assert misses.value == 1
+            assert evictions.value == 1
+
+    def test_thread_hammer_stays_bounded_and_correct(self):
+        cache = LRUCache("t", max_entries=8)
+        errors: list[Exception] = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(300):
+                    key = (offset + i) % 24
+                    value = cache.get_or(key, lambda key=key: key * 2)
+                    assert value == key * 2
+                    if i % 50 == 0:
+                        cache.invalidate()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+# ----------------------------------------------------------------------
+# Rendering memos: cached values match direct computation.
+
+
+class TestRenderingMemos:
+    SQL = "SELECT name FROM country WHERE code = 'ABW'"
+
+    def test_cached_sql_surface_matches_direct(self, world_db):
+        query = parse_sql(self.SQL)
+        schema = world_db.schema
+        direct = f"{to_sql(query)} ; {describe_query(query, schema)}"
+        assert cached_sql_surface(query, schema) == direct
+        assert cached_sql_surface(query, schema) == direct  # warm hit
+
+    def test_cached_unit_phrases_matches_direct(self, world_db):
+        query = parse_sql(self.SQL)
+        schema = world_db.schema
+        assert cached_unit_phrases(query, schema) == tuple(
+            unit_phrases(query, schema)
+        )
+
+    def test_cached_normal_sql_matches_direct(self):
+        query = parse_sql("SELECT name FROM country WHERE code = 'ABW'")
+        assert cached_normal_sql(query) == to_sql(normalize(query))
+
+    def test_default_vocabulary_key_is_distinct(self, world_db):
+        query = parse_sql(self.SQL)
+        with_schema = cached_sql_surface(query, world_db.schema)
+        without = cached_sql_surface(query)
+        assert with_schema.startswith(to_sql(query))
+        assert without.startswith(to_sql(query))
+
+
+# ----------------------------------------------------------------------
+# Text featurization: the shared accumulation path + token-hash memo.
+
+
+class TestTextBatching:
+    def test_hash_token_is_memo_of_full_hash(self):
+        assert _hash_token("select", 64) == _fnv1a("select") % 64
+        assert _hash_token("select", 1024) == _fnv1a("select") % 1024
+
+    def test_hashing_vectorizer_single_matches_batch(self):
+        vectorizer = HashingVectorizer(buckets=128)
+        texts = ["alpha beta", "beta gamma delta", "alpha"]
+        batch = vectorizer.transform_many(texts)
+        for row, text in enumerate(texts):
+            np.testing.assert_array_equal(
+                vectorizer.transform(text), batch[row]
+            )
+
+    def test_featurizer_single_matches_batch(self):
+        texts = ["alpha beta gamma", "beta beta delta", "gamma epsilon"]
+        featurizer = TextFeaturizer(buckets=128).fit(texts)
+        batch = featurizer.transform_many(texts)
+        for row, text in enumerate(texts):
+            np.testing.assert_allclose(
+                featurizer.transform(text), batch[row], atol=1e-12
+            )
+
+
+# ----------------------------------------------------------------------
+# Batched rankers match their per-item references.
+
+
+def _triples(n: int = 80, seed: int = 3) -> list[RankingTriple]:
+    rng = np.random.default_rng(seed)
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"]
+    triples = []
+    for __ in range(n):
+        size = int(rng.integers(2, 5))
+        question = list(rng.choice(words, size=size, replace=False))
+        sql = list(rng.choice(words, size=size, replace=False))
+        shared = len(set(sql) & set(question))
+        triples.append(
+            RankingTriple(
+                question=" ".join(question),
+                sql_text=" ".join(sql),
+                target=shared / size,
+            )
+        )
+    return triples
+
+
+class TestStage1Batching:
+    @pytest.fixture(scope="class")
+    def ranker(self):
+        config = Stage1Config(epochs=10, buckets=128, embed_dim=16)
+        return DualTowerRanker(config).fit(_triples())
+
+    CANDIDATES = [
+        "alpha beta",
+        "eta zeta",
+        "alpha eta",
+        "beta gamma delta",
+        "alpha beta",  # duplicate: featurized once, scored twice
+        "delta",
+    ]
+
+    def _assert_matches_sequential(self, ranker, top_k):
+        batched = ranker.rank("alpha beta gamma", self.CANDIDATES, top_k)
+        reference = ranker.rank_sequential(
+            "alpha beta gamma", self.CANDIDATES, top_k
+        )
+        assert [i for i, __ in batched] == [i for i, __ in reference]
+        np.testing.assert_allclose(
+            [s for __, s in batched],
+            [s for __, s in reference],
+            atol=1e-9,
+        )
+
+    def test_batched_matches_sequential(self, ranker):
+        self._assert_matches_sequential(ranker, top_k=10)
+
+    def test_batched_matches_sequential_topk(self, ranker):
+        self._assert_matches_sequential(ranker, top_k=3)
+
+    def test_cold_cache_equals_disabled_exactly(self, ranker):
+        with caching_scope(False):
+            disabled = ranker.rank("alpha beta", self.CANDIDATES)
+        ranker.invalidate_caches()
+        cold = ranker.rank("alpha beta", self.CANDIDATES)
+        assert cold == disabled  # same compute path -> bit-identical
+        warm = ranker.rank("alpha beta", self.CANDIDATES)
+        assert warm == cold
+
+    def test_eviction_under_pressure_stays_correct(self, ranker):
+        ranker._sql_embed_cache.resize(2)  # far smaller than the batch
+        try:
+            for __ in range(3):
+                self._assert_matches_sequential(ranker, top_k=10)
+            assert len(ranker._sql_embed_cache) <= 2
+            assert ranker._sql_embed_cache.stats()["evictions"] > 0
+        finally:
+            ranker._sql_embed_cache.resize(
+                ranker.config.cache_entries
+            )
+            ranker.invalidate_caches()
+
+    def test_fit_invalidates_caches(self, ranker):
+        ranker.rank("alpha beta", self.CANDIDATES)
+        assert len(ranker._sql_embed_cache) > 0
+        version = ranker._sql_embed_cache.version
+        ranker.fit(_triples(n=40, seed=9))
+        assert len(ranker._sql_embed_cache) == 0
+        assert ranker._sql_embed_cache.version > version
+
+    def test_warm_questions_primes_cache(self, ranker):
+        ranker.invalidate_caches()
+        ranker.warm_questions(["alpha beta", "eta zeta"])
+        assert "alpha beta" in ranker._query_embed_cache
+        before = ranker._query_embed_cache.stats()["hits"]
+        ranker.rank("alpha beta", self.CANDIDATES)
+        assert ranker._query_embed_cache.stats()["hits"] == before + 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DualTowerRanker().rank("x", ["y"])
+
+
+class TestStage2Batching:
+    @pytest.fixture(scope="class")
+    def ranker(self):
+        from tests.core.test_rankers import _synthetic_lists
+
+        return MultiGrainedRanker(Stage2Config(epochs=4)).fit(
+            _synthetic_lists(n=30)
+        )
+
+    CANDIDATES = [
+        ("zeta epsilon delta", ("zeta", "epsilon", "delta")),
+        ("alpha beta gamma", ("alpha", "beta", "gamma")),
+        ("alpha zeta", ("alpha", "zeta")),
+        ("beta", ()),  # no phrases: falls back to the surface text
+        ("alpha beta gamma", ("alpha", "beta", "gamma")),  # duplicate
+    ]
+
+    def test_score_many_matches_score(self, ranker):
+        question = "alpha beta gamma"
+        batched = ranker.score_many(question, self.CANDIDATES)
+        reference = [
+            ranker.score(question, surface, phrases)
+            for surface, phrases in self.CANDIDATES
+        ]
+        np.testing.assert_allclose(batched, reference, atol=1e-9)
+
+    def test_rank_matches_sequential(self, ranker):
+        question = "alpha beta gamma"
+        batched = ranker.rank(question, self.CANDIDATES)
+        reference = ranker.rank_sequential(question, self.CANDIDATES)
+        assert [i for i, __ in batched] == [i for i, __ in reference]
+        np.testing.assert_allclose(
+            [s for __, s in batched],
+            [s for __, s in reference],
+            atol=1e-9,
+        )
+
+    def test_empty_candidates(self, ranker):
+        assert ranker.score_many("q", []) == []
+        assert ranker.rank("q", []) == []
+
+    def test_cold_cache_equals_disabled_exactly(self, ranker):
+        with caching_scope(False):
+            disabled = ranker.rank("alpha zeta", self.CANDIDATES)
+        ranker.invalidate_caches()
+        cold = ranker.rank("alpha zeta", self.CANDIDATES)
+        assert cold == disabled
+
+
+# ----------------------------------------------------------------------
+# Pipeline: dedupe, batched driver, and the caching-is-invisible sweep.
+
+
+def _candidate(sql: str, score: float) -> GeneratedCandidate:
+    query = parse_sql(sql)
+    return GeneratedCandidate(
+        query=query, score=score, metadata=None, sql_text=to_sql(query)
+    )
+
+
+class TestCandidateDedupe:
+    def test_keeps_best_score_and_order(self):
+        candidates = [
+            _candidate("SELECT name FROM country", 0.4),
+            _candidate("SELECT code FROM country", 0.9),
+            _candidate("SELECT name FROM country", 0.8),  # dup, better
+        ]
+        surfaces = ["s0", "s1", "s2"]
+        kept, kept_surfaces, dropped = _dedupe_candidates(
+            candidates, surfaces
+        )
+        assert dropped == 1
+        # The higher-scoring copy survives at its own position; relative
+        # candidate order among survivors is preserved.
+        assert [c.score for c in kept] == [0.9, 0.8]
+        assert kept_surfaces == ["s1", "s2"]
+
+    def test_no_duplicates_is_identity(self):
+        candidates = [
+            _candidate("SELECT name FROM country", 0.4),
+            _candidate("SELECT code FROM country", 0.9),
+        ]
+        kept, surfaces, dropped = _dedupe_candidates(candidates, ["a", "b"])
+        assert dropped == 0
+        assert kept == candidates
+        assert surfaces == ["a", "b"]
+
+    def test_dedupe_count_lands_on_generate_span(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        outcome = trained_pipeline.translate_ranked_report(
+            example.question, db
+        )
+        generate = next(
+            child
+            for child in outcome.report.trace["children"]
+            if child["name"] == "generate"
+        )
+        assert "deduped" in generate["attributes"]
+        assert generate["attributes"]["deduped"] >= 0
+
+
+class TestTranslateMany:
+    def test_matches_per_item_translation(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        examples = tiny_benchmark.dev.examples[:4]
+        pairs = [
+            (e.question, tiny_benchmark.dev.database(e.db_id))
+            for e in examples
+        ]
+        batched = trained_pipeline.translate_many(pairs)
+        for (question, db), outcome in zip(pairs, batched):
+            single = trained_pipeline.translate_ranked_report(question, db)
+            assert [to_sql(t.query) for t in outcome.translations] == [
+                to_sql(t.query) for t in single.translations
+            ]
+
+    def test_stage_spans_carry_batch_size(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        outcome = trained_pipeline.translate_ranked_report(
+            example.question, db
+        )
+        spans = {
+            child["name"]: child for child in outcome.report.trace["children"]
+        }
+        assert spans["stage1"]["attributes"]["batch_size"] >= 1
+        assert spans["stage2"]["attributes"]["batch_size"] >= 1
+
+    def test_cache_traffic_reaches_ambient_registry(
+        self, trained_pipeline, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev.examples[0]
+        db = tiny_benchmark.dev.database(example.db_id)
+        registry = MetricsRegistry()
+        with registry_scope(registry):
+            trained_pipeline.translate_ranked_report(example.question, db)
+            trained_pipeline.translate_ranked_report(example.question, db)
+        rendered = registry.render_prometheus()
+        assert "metasql_cache_hits_total" in rendered
+        assert "metasql_cache_misses_total" in rendered
+
+
+class TestCachingIsInvisible:
+    """Property: caching on/off never changes the translation output."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=11))
+    def test_cache_toggle_preserves_output(
+        self, trained_pipeline, tiny_benchmark, index
+    ):
+        examples = tiny_benchmark.dev.examples
+        example = examples[index % len(examples)]
+        db = tiny_benchmark.dev.database(example.db_id)
+        with caching_scope(False):
+            uncached = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        with caching_scope(True):
+            cached = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+        assert [to_sql(t.query) for t in cached.translations] == [
+            to_sql(t.query) for t in uncached.translations
+        ]
+        np.testing.assert_allclose(
+            [t.stage2_score for t in cached.translations],
+            [t.stage2_score for t in uncached.translations],
+            atol=1e-9,
+        )
+        # Report fields other than timing/trace are unchanged too.
+        assert cached.report.degraded == uncached.report.degraded
+        assert len(cached.report.faults) == len(uncached.report.faults)

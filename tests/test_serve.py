@@ -455,6 +455,21 @@ class TestServiceAdmission:
         with pytest.raises(ServiceStopped):
             service.submit("late", None)
 
+    def test_submit_many_returns_one_future_per_request(self):
+        stub = StubPipeline()
+        service = TranslationService(
+            stub, ServiceConfig(workers=2, queue_limit=8)
+        )
+        try:
+            futures = service.submit_many(
+                [(f"q{i}", None) for i in range(5)]
+            )
+            assert len(futures) == 5
+            assert all(f.result(timeout=5).translations for f in futures)
+            assert service.health().completed == 5
+        finally:
+            service.shutdown()
+
     def test_shutdown_drains_admitted_requests(self):
         stub = StubPipeline()
         service = TranslationService(
