@@ -21,6 +21,10 @@ _EXPORTS = {
     "current_deadline": ("repro.core.resilience", "current_deadline"),
     "CircuitBreaker": ("repro.core.resilience", "CircuitBreaker"),
     "BreakerBoard": ("repro.core.resilience", "BreakerBoard"),
+    "VerifyConfig": ("repro.core.verify", "VerifyConfig"),
+    "VerifyResult": ("repro.core.verify", "VerifyResult"),
+    "verify_candidates": ("repro.core.verify", "verify_candidates"),
+    "RepairConfig": ("repro.core.repair", "RepairConfig"),
     "save_pipeline": ("repro.core.persist", "save_pipeline"),
     "load_pipeline": ("repro.core.persist", "load_pipeline"),
     "verify_checkpoint": ("repro.core.persist", "verify_checkpoint"),

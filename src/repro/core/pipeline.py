@@ -8,8 +8,11 @@
    two ranking stages (clause-similarity targets vs gold).
 2. **translate** — classify metadata labels, compose conditions observed in
    training, generate one small beam per condition, ground placeholder
-   values, first-stage-prune to 10 candidates, second-stage-rank, return
-   the top query (or the full ranked list).
+   values, first-stage-prune to 10 candidates, second-stage-rank, then
+   execution-verify the top-k (:mod:`repro.core.verify`) and, when the
+   best candidate still fails at runtime, run the bounded self-repair
+   loop (:mod:`repro.core.repair`) before returning the top query (or
+   the full ranked list).
 
 Ablation flags reproduce Table 9: ``use_classifier=False`` conditions on
 *all* observed compositions; ``use_stage2=False`` stops after the
@@ -63,7 +66,9 @@ from repro.core.resilience import (
     current_deadline,
     guarded_call,
 )
+from repro.core.repair import RepairConfig, run_repair
 from repro.core.similarity import similarity_score, similarity_unit
+from repro.core.verify import VerifyConfig, verify_candidates
 from repro.data.dataset import Dataset
 from repro.models.base import TranslationModel
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -97,6 +102,8 @@ class MetaSQLConfig:
     stage1: Stage1Config = field(default_factory=Stage1Config)
     stage2: Stage2Config = field(default_factory=Stage2Config)
     resilience: DegradationPolicy = field(default_factory=DegradationPolicy)
+    verify: VerifyConfig = field(default_factory=VerifyConfig)
+    repair: RepairConfig = field(default_factory=RepairConfig)
     seed: int = 20240501
 
 
@@ -681,25 +688,9 @@ class MetaSQL:
                 return []
 
             schema = db.schema
-            surfaces: list[str] = []
-            kept: list[GeneratedCandidate] = []
-            for index, candidate in enumerate(generated):
-                try:
-                    surface = cached_sql_surface(
-                        candidate.query,
-                        schema,
-                        sql_text=candidate.sql_text or None,
-                    )
-                except Exception as exc:  # repolint: allow[broad-except] — isolation
-                    if not policy.isolate_candidates:
-                        raise
-                    report.record_exception(
-                        "surface", exc, candidate=index, fallback="skip"
-                    )
-                    continue
-                surfaces.append(surface)
-                kept.append(candidate)
-            generated, surfaces, deduped = _dedupe_candidates(kept, surfaces)
+            generated, surfaces, deduped = self._render_surfaces(
+                schema, generated, policy, report
+            )
             span.attributes["candidates"] = len(generated)
             span.attributes["deduped"] = deduped
             if deduped:
@@ -756,7 +747,117 @@ class MetaSQL:
                 question, generated, surfaces, pruned, schema, policy, report
             )
             span.attributes["ranked"] = len(ranked)
-        return ranked
+        return self._verify_and_repair(
+            question, db, ranked, deadline, policy, report, tracer, registry
+        )
+
+    def _verify_and_repair(
+        self,
+        question: str,
+        db: Database,
+        ranked: list[RankedTranslation],
+        deadline: Deadline | None,
+        policy: DegradationPolicy,
+        report: TranslationReport,
+        tracer: Tracer,
+        registry: MetricsRegistry,
+    ) -> list[RankedTranslation]:
+        """Execution-guided verification plus the bounded repair loop.
+
+        Executes the top-k ranked candidates (``config.verify``) and
+        re-emits the order with runtime failures demoted or pruned; when
+        the best candidate the stage can offer *still* hard-fails,
+        metadata-perturbed regeneration (``config.repair``) gets a
+        bounded number of attempts to replace it.  With
+        ``verify.policy == "off"`` this method is an identity: no spans,
+        no metrics, bit-identical ranked output.
+
+        Fail-open contract: a verify-stage crash (injected or organic)
+        is absorbed by ``guarded_call`` as ``FaultRecord(stage="verify",
+        fallback="keep")`` and the incoming ranked order stands.
+        """
+        config = self.config.verify
+        if not config.enabled or not ranked:
+            return ranked
+        with self._stage_span(tracer, registry, "verify") as span:
+            if self._deadline_expired(deadline, report, "verify", "keep"):
+                return ranked
+            span.attributes["candidates"] = len(ranked)
+            ok, result = guarded_call(
+                "verify",
+                lambda: verify_candidates(
+                    [translation.query for translation in ranked],
+                    db,
+                    config,
+                    deadline=deadline,
+                ),
+                policy,
+                report,
+                fallback="keep",
+                site="verify.execute",
+                breaker=self._breaker("verify"),
+            )
+            if not ok:
+                return ranked
+            outcomes = result.outcome_counts()
+            report.record_verify(outcomes, result.demoted)
+            span.attributes["checked"] = result.checked
+            span.attributes["demoted"] = result.demoted
+            outcome_counter = registry.counter(
+                "metasql_verify_candidates_total",
+                "Verified candidates by execution outcome.",
+                labelnames=("outcome",),
+            )
+            for outcome, count in sorted(outcomes.items()):
+                outcome_counter.labels(outcome=outcome).inc(count)
+            if result.demoted:
+                registry.counter(
+                    "metasql_verify_demoted_total",
+                    "Candidates demoted or pruned by the verify stage.",
+                ).inc(result.demoted)
+            verified = [ranked[index] for index in result.order]
+        registry.histogram(
+            "metasql_verify_latency_seconds",
+            "Wall seconds spent executing candidates in the verify stage.",
+        ).observe(span.duration)
+        if not (self.config.repair.enabled and result.top1_failed and verified):
+            return verified
+        with self._stage_span(tracer, registry, "repair") as span:
+            if self._deadline_expired(deadline, report, "repair", "keep"):
+                return verified
+            tried = {
+                (translation.metadata.tags, translation.metadata.rating)
+                for translation in ranked
+                if translation.metadata is not None
+            }
+            repaired = run_repair(
+                self,
+                question,
+                db,
+                verified,
+                result,
+                tried,
+                policy,
+                report,
+                deadline=deadline,
+            )
+            span.attributes["attempts"] = report.repair_attempts
+            span.attributes["succeeded"] = report.repair_succeeded
+        registry.histogram(
+            "metasql_repair_latency_seconds",
+            "Wall seconds spent in the bounded repair loop.",
+        ).observe(span.duration)
+        if report.repair_attempts:
+            registry.counter(
+                "metasql_repair_attempts_total",
+                "Metadata-perturbed regeneration attempts.",
+            ).inc(report.repair_attempts)
+        if report.repair_succeeded:
+            registry.counter(
+                "metasql_repair_success_total",
+                "Translations whose repaired top-1 passed verification.",
+            ).inc()
+        return repaired
 
     @staticmethod
     def _flush_report_metrics(
@@ -802,6 +903,41 @@ class MetaSQL:
             )
             for index, stage1_score in pruned
         ]
+
+    def _render_surfaces(
+        self,
+        schema,
+        generated: list[GeneratedCandidate],
+        policy: DegradationPolicy,
+        report: TranslationReport,
+    ) -> tuple[list[GeneratedCandidate], list[str], int]:
+        """Stage-1 surfaces for a candidate set, duplicates dropped.
+
+        Per-candidate rendering failures are isolated (recorded and
+        skipped) under the degradation policy; normalized-SQL duplicates
+        are collapsed to the best-scoring copy.  Shared by the main
+        translate path and the repair loop's regeneration pass.  Returns
+        ``(kept candidates, surfaces, duplicates dropped)``.
+        """
+        surfaces: list[str] = []
+        kept: list[GeneratedCandidate] = []
+        for index, candidate in enumerate(generated):
+            try:
+                surface = cached_sql_surface(
+                    candidate.query,
+                    schema,
+                    sql_text=candidate.sql_text or None,
+                )
+            except Exception as exc:  # repolint: allow[broad-except] — isolation
+                if not policy.isolate_candidates:
+                    raise
+                report.record_exception(
+                    "surface", exc, candidate=index, fallback="skip"
+                )
+                continue
+            surfaces.append(surface)
+            kept.append(candidate)
+        return _dedupe_candidates(kept, surfaces)
 
     def _stage1_pruned(
         self,

@@ -45,6 +45,8 @@ FAILPOINTS: tuple[str, ...] = (
     "stage1.rank",
     "stage2.rank",
     "executor.execute",
+    "verify.execute",
+    "repair.regenerate",
     "persist.save",
     "persist.finalize",
     "serve.handle",
@@ -405,6 +407,8 @@ class BreakerBoard:
         "generate",
         "stage1",
         "stage2",
+        "verify",
+        "repair",
     )
 
     def __init__(
@@ -520,6 +524,16 @@ class TranslationReport:
     lint_rejected: int = 0
     #: Lint-rejection counts by diagnostic code (``SQL002`` -> count).
     lint_codes: dict[str, int] = field(default_factory=dict)
+    #: Candidates the execution-guided verify stage demoted (or pruned)
+    #: because they errored, blew the budget, or returned empty results.
+    verify_demoted: int = 0
+    #: Per-outcome tally from the verify stage (``ok``/``empty``/``error``
+    #: /``budget``/``skipped`` -> count of top-k candidates).
+    verify_outcomes: dict[str, int] = field(default_factory=dict)
+    #: Repair-loop attempts consumed for this translation.
+    repair_attempts: int = 0
+    #: Whether a repair attempt produced a verified-passing top-1.
+    repair_succeeded: bool = False
     #: The request's time budget in seconds, when one was attached.
     deadline_budget: float | None = None
     #: The stage boundary at which expiry was observed, when it was.
@@ -589,6 +603,20 @@ class TranslationReport:
         for code in codes:
             self.lint_codes[code] = self.lint_codes.get(code, 0) + 1
 
+    def record_verify(self, outcomes: dict[str, int], demoted: int) -> None:
+        """Fold one verify pass into the report.
+
+        Like lint rejection, demotion is the stage doing its job: it never
+        marks the translation degraded and produces no
+        :class:`FaultRecord` (a *crash* of the stage does, via
+        :func:`guarded_call`).
+        """
+        self.verify_demoted += demoted
+        for outcome, count in outcomes.items():
+            self.verify_outcomes[outcome] = (
+                self.verify_outcomes.get(outcome, 0) + count
+            )
+
     def record_deadline(
         self, deadline: Deadline, stage: str, fallback: str
     ) -> FaultRecord:
@@ -623,6 +651,10 @@ class TranslationReport:
             "faults": [record.as_dict() for record in self.faults],
             "lint_rejected": self.lint_rejected,
             "lint_codes": dict(sorted(self.lint_codes.items())),
+            "verify_demoted": self.verify_demoted,
+            "verify_outcomes": dict(sorted(self.verify_outcomes.items())),
+            "repair_attempts": self.repair_attempts,
+            "repair_succeeded": self.repair_succeeded,
             "deadline_budget": self.deadline_budget,
             "deadline_stage": self.deadline_stage,
             "degraded": self.degraded,
@@ -641,6 +673,10 @@ class TranslationReport:
             ],
             lint_rejected=data.get("lint_rejected", 0),
             lint_codes=dict(data.get("lint_codes") or {}),
+            verify_demoted=data.get("verify_demoted", 0),
+            verify_outcomes=dict(data.get("verify_outcomes") or {}),
+            repair_attempts=data.get("repair_attempts", 0),
+            repair_succeeded=bool(data.get("repair_succeeded", False)),
             deadline_budget=data.get("deadline_budget"),
             deadline_stage=data.get("deadline_stage"),
             trace=data.get("trace"),

@@ -104,10 +104,62 @@ class EvalResult:
                 counts[code] = counts.get(code, 0) + count
         return counts
 
+    @property
+    def verify_demoted_total(self) -> int:
+        """Candidates demoted/pruned by the verify stage, across examples."""
+        return sum(
+            r.report.verify_demoted
+            for r in self.records
+            if r.report is not None
+        )
+
+    def verify_outcome_counts(self) -> dict[str, int]:
+        """Verify-stage execution outcomes, summed across all examples."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.report is None:
+                continue
+            for outcome, count in record.report.verify_outcomes.items():
+                counts[outcome] = counts.get(outcome, 0) + count
+        return counts
+
+    @property
+    def repair_attempts_total(self) -> int:
+        """Metadata-perturbed regeneration attempts, across all examples."""
+        return sum(
+            r.report.repair_attempts
+            for r in self.records
+            if r.report is not None
+        )
+
+    @property
+    def repair_success_rate(self) -> float:
+        """Fraction of repair-attempting translations that succeeded."""
+        attempted = [
+            r
+            for r in self.records
+            if r.report is not None and r.report.repair_attempts
+        ]
+        if not attempted:
+            return 0.0
+        return sum(
+            r.report.repair_succeeded for r in attempted
+        ) / len(attempted)
+
     def em_by_hardness(self) -> dict[str, float]:
         buckets: dict[str, list[bool]] = {h.value: [] for h in Hardness}
         for record in self.records:
             buckets[record.hardness.value].append(record.em)
+        return {
+            level: (sum(flags) / len(flags) if flags else 0.0)
+            for level, flags in buckets.items()
+        }
+
+    def ex_by_hardness(self) -> dict[str, float]:
+        """EX rate per hardness bucket (the axis bench_verify deltas)."""
+        buckets: dict[str, list[bool]] = {h.value: [] for h in Hardness}
+        for record in self.records:
+            buckets[record.hardness.value].append(record.execution_hit)
         return {
             level: (sum(flags) / len(flags) if flags else 0.0)
             for level, flags in buckets.items()
@@ -284,6 +336,10 @@ def _journal_line(record: EvalRecord) -> dict:
         "deadline_expired": report.deadline_expired,
         "lint_rejected": report.lint_rejected,
         "lint_codes": dict(sorted(report.lint_codes.items())),
+        "verify_demoted": report.verify_demoted,
+        "verify_outcomes": dict(sorted(report.verify_outcomes.items())),
+        "repair_attempts": report.repair_attempts,
+        "repair_succeeded": report.repair_succeeded,
         "faults": [
             {"stage": f.stage, "fallback": f.fallback} for f in report.faults
         ],

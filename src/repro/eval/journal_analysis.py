@@ -68,6 +68,14 @@ class HardnessBucket:
     em_hits: int = 0
     ex_hits: int = 0
     degraded: int = 0
+    #: Candidates the verify stage demoted/pruned (sum over records).
+    verify_demoted: int = 0
+    #: Records with at least one verify demotion.
+    demoted_records: int = 0
+    repair_attempts: int = 0
+    #: Records that attempted at least one repair.
+    repair_records: int = 0
+    repair_succeeded: int = 0
     latencies: list[float] = field(default_factory=list)
 
     @property
@@ -78,12 +86,28 @@ class HardnessBucket:
     def ex(self) -> float:
         return self.ex_hits / self.total if self.total else 0.0
 
+    @property
+    def demotion_rate(self) -> float:
+        """Fraction of records the verify stage reordered."""
+        return self.demoted_records / self.total if self.total else 0.0
+
+    @property
+    def repair_success_rate(self) -> float:
+        """Fraction of repair-attempting records that succeeded."""
+        if not self.repair_records:
+            return 0.0
+        return self.repair_succeeded / self.repair_records
+
     def as_dict(self) -> dict:
         return {
             "total": self.total,
             "em": round(self.em, 4),
             "ex": round(self.ex, 4),
             "degraded": self.degraded,
+            "verify_demoted": self.verify_demoted,
+            "demotion_rate": round(self.demotion_rate, 4),
+            "repair_attempts": self.repair_attempts,
+            "repair_success_rate": round(self.repair_success_rate, 4),
             "latency": LatencySummary.of(self.latencies).as_dict(),
         }
 
@@ -99,6 +123,10 @@ class JournalSummary:
     deadline_expired: int = 0
     lint_rejected: int = 0
     lint_codes: dict[str, int] = field(default_factory=dict)
+    verify_demoted: int = 0
+    verify_outcomes: dict[str, int] = field(default_factory=dict)
+    repair_attempts: int = 0
+    repair_succeeded: int = 0
     fault_counts: dict[str, int] = field(default_factory=dict)
     by_hardness: dict[str, HardnessBucket] = field(default_factory=dict)
     stage_latencies: dict[str, list[float]] = field(default_factory=dict)
@@ -113,6 +141,10 @@ class JournalSummary:
             "deadline_expired": self.deadline_expired,
             "lint_rejected": self.lint_rejected,
             "lint_codes": dict(sorted(self.lint_codes.items())),
+            "verify_demoted": self.verify_demoted,
+            "verify_outcomes": dict(sorted(self.verify_outcomes.items())),
+            "repair_attempts": self.repair_attempts,
+            "repair_succeeded": self.repair_succeeded,
             "fault_counts": dict(sorted(self.fault_counts.items())),
             "latency": LatencySummary.of(self.latencies).as_dict(),
             "by_hardness": {
@@ -142,6 +174,20 @@ class JournalSummary:
                 f"  lint rejected {self.lint_rejected} candidates"
                 + (f" ({codes})" if codes else "")
             )
+        if self.verify_demoted or self.verify_outcomes:
+            outcomes = ", ".join(
+                f"{outcome}={count}"
+                for outcome, count in sorted(self.verify_outcomes.items())
+            )
+            lines.append(
+                f"  verify demoted {self.verify_demoted} candidates"
+                + (f" ({outcomes})" if outcomes else "")
+            )
+        if self.repair_attempts:
+            lines.append(
+                f"  repair attempts {self.repair_attempts}, "
+                f"succeeded {self.repair_succeeded}"
+            )
         overall = LatencySummary.of(self.latencies)
         lines.append(
             f"  latency p50/p90/p99: {overall.p50 * 1e3:.2f}/"
@@ -154,6 +200,8 @@ class JournalSummary:
                 lines.append(
                     f"    {level:10s} n={bucket.total:<5d} "
                     f"EM={bucket.em:.3f} EX={bucket.ex:.3f} "
+                    f"demote={bucket.demotion_rate:.3f} "
+                    f"repair={bucket.repair_success_rate:.3f} "
                     f"p90={latency.p90 * 1e3:.2f}ms"
                 )
         if self.stage_latencies:
@@ -201,6 +249,15 @@ def _fold_eval(summary: JournalSummary, record: dict) -> None:
     bucket.em_hits += bool(record.get("em"))
     bucket.ex_hits += bool(record.get("ex"))
     bucket.degraded += bool(record.get("degraded"))
+    demoted = record.get("verify_demoted")
+    if isinstance(demoted, int) and demoted > 0:
+        bucket.verify_demoted += demoted
+        bucket.demoted_records += 1
+    attempts = record.get("repair_attempts")
+    if isinstance(attempts, int) and attempts > 0:
+        bucket.repair_attempts += attempts
+        bucket.repair_records += 1
+        bucket.repair_succeeded += bool(record.get("repair_succeeded"))
     latency = record.get("latency_s")
     if isinstance(latency, (int, float)):
         bucket.latencies.append(float(latency))
@@ -219,6 +276,20 @@ def _fold_common(summary: JournalSummary, record: dict) -> None:
                 summary.lint_codes[code] = (
                     summary.lint_codes.get(code, 0) + count
                 )
+    demoted = record.get("verify_demoted")
+    if isinstance(demoted, int):
+        summary.verify_demoted += demoted
+    verify_outcomes = record.get("verify_outcomes")
+    if isinstance(verify_outcomes, dict):
+        for outcome, count in verify_outcomes.items():
+            if isinstance(count, int):
+                summary.verify_outcomes[outcome] = (
+                    summary.verify_outcomes.get(outcome, 0) + count
+                )
+    attempts = record.get("repair_attempts")
+    if isinstance(attempts, int):
+        summary.repair_attempts += attempts
+        summary.repair_succeeded += bool(record.get("repair_succeeded"))
     for fault in record.get("faults", ()):
         if isinstance(fault, dict):
             stage = fault.get("stage", "unknown")

@@ -1,7 +1,22 @@
 """Relational substrate: schema model, in-memory database, SQL executor."""
 
 from repro.schema.database import Database
-from repro.schema.executor import execute
+from repro.schema.executor import (
+    ExecutionBudget,
+    budget_scope,
+    current_budget,
+    execute,
+)
 from repro.schema.schema import Column, ForeignKey, Schema, Table
 
-__all__ = ["Column", "ForeignKey", "Schema", "Table", "Database", "execute"]
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "Database",
+    "ExecutionBudget",
+    "budget_scope",
+    "current_budget",
+    "execute",
+]

@@ -23,9 +23,11 @@ nested subquery execution draws from the same allowance.
 from __future__ import annotations
 
 import re
+from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from itertools import product
+from typing import Iterator
 
 from repro.core.resilience import fire
 from repro.schema.database import Database
@@ -63,6 +65,20 @@ class ExecutionBudget:
     max_rows: int | None = 100_000
     steps: int = 0
 
+    def remaining(self) -> int | None:
+        """Steps left before the budget trips (None = unlimited).
+
+        Never negative: once exhausted the remaining allowance is 0.
+        """
+        if self.max_steps is None:
+            return None
+        return max(0, self.max_steps - self.steps)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the step allowance has been fully consumed."""
+        return self.remaining() == 0
+
     def charge(self, n: int = 1) -> None:
         """Consume *n* steps; raise once the step limit is exceeded."""
         self.steps += n
@@ -85,6 +101,34 @@ _BUDGET: ContextVar[ExecutionBudget | None] = ContextVar(
 )
 
 
+def current_budget() -> ExecutionBudget | None:
+    """The ambient :class:`ExecutionBudget` for this context, if any."""
+    return _BUDGET.get()
+
+
+@contextmanager
+def budget_scope(
+    budget: ExecutionBudget | None,
+) -> Iterator[ExecutionBudget | None]:
+    """Install *budget* as the ambient budget for the ``with`` body.
+
+    Every :func:`execute` call inside the scope that does not pass an
+    explicit budget charges this one *cumulatively* — the verify stage
+    runs its whole top-k sweep under one allowance without manual
+    per-call budget splitting::
+
+        with budget_scope(ExecutionBudget(max_steps=50_000)) as budget:
+            execute(first, db)    # charges the shared budget
+            execute(second, db)   # keeps charging the same allowance
+            budget.remaining()    # -> steps left for further candidates
+    """
+    token = _BUDGET.set(budget)
+    try:
+        yield budget
+    finally:
+        _BUDGET.reset(token)
+
+
 def _charge(n: int = 1) -> None:
     budget = _BUDGET.get()
     if budget is not None:
@@ -103,8 +147,10 @@ def execute(
     """Execute *query* against *db*, returning result rows as tuples.
 
     When *budget* is given it becomes the ambient budget for this call and
-    every nested subquery; without one, the enclosing call's budget (if
-    any) keeps applying, so recursive internal calls never reset limits.
+    every nested subquery; without one, the enclosing scope's budget (an
+    enclosing ``execute`` call or a :func:`budget_scope`) keeps applying,
+    so recursive internal calls never reset limits and repeated top-level
+    calls under one scope charge the same allowance cumulatively.
     """
     fire("executor.execute")
     if budget is None:

@@ -386,6 +386,10 @@ class TranslationService:
             "deadline_expired": report.deadline_expired,
             "lint_rejected": report.lint_rejected,
             "lint_codes": dict(sorted(report.lint_codes.items())),
+            "verify_demoted": report.verify_demoted,
+            "verify_outcomes": dict(sorted(report.verify_outcomes.items())),
+            "repair_attempts": report.repair_attempts,
+            "repair_succeeded": report.repair_succeeded,
             "faults": [
                 {"stage": f.stage, "fallback": f.fallback}
                 for f in report.faults

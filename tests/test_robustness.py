@@ -33,11 +33,14 @@ from repro.sqlkit.parser import parse_sql
 pytestmark = pytest.mark.robustness
 
 #: The failpoints crossed by ``translate_ranked``.  ``executor.execute``
-#: is only reached by the EX metric (covered separately); the persist
-#: and serve sites belong to the durability/serving layer and are
-#: exercised in ``tests/test_serve.py``.
+#: is reached by the EX metric and the verify stage (covered
+#: separately); ``repair.regenerate`` only fires when the verified top-1
+#: hard-fails (exercised in ``tests/test_verify_repair.py``); the
+#: persist and serve sites belong to the durability/serving layer and
+#: are exercised in ``tests/test_serve.py``.
 NON_TRANSLATE_FAILPOINTS = {
     "executor.execute",
+    "repair.regenerate",
     "persist.save",
     "persist.finalize",
     "serve.handle",
@@ -280,12 +283,21 @@ class TestDegradationChain:
     def test_stage2_fault_falls_back_to_stage1_order(
         self, trained_pipeline, tiny_benchmark
     ):
+        from repro.core.verify import VerifyConfig
+
         example = tiny_benchmark.dev.examples[0]
         db = tiny_benchmark.dev.database(example.db_id)
-        with FAULTS.inject("stage2.rank", times=1):
-            result = trained_pipeline.translate_ranked_report(
-                example.question, db
-            )
+        # Verify off: this test asserts the raw stage-1 ordering, which
+        # the (orthogonal) verify stage is allowed to reshuffle.
+        saved = trained_pipeline.config.verify
+        trained_pipeline.config.verify = VerifyConfig(policy="off")
+        try:
+            with FAULTS.inject("stage2.rank", times=1):
+                result = trained_pipeline.translate_ranked_report(
+                    example.question, db
+                )
+        finally:
+            trained_pipeline.config.verify = saved
         scores = [r.stage1_score for r in result.translations]
         assert scores == sorted(scores, reverse=True)
         assert all(
@@ -335,7 +347,18 @@ class TestDegradationChain:
                 trained_pipeline, tiny_benchmark.dev, limit=2
             )
         assert len(result.records) == 2
-        assert result.fault_counts().get("execute", 0) >= 1
+        # With the verify stage enabled, the first execute() call happens
+        # while verifying candidates, so the injected fault is absorbed
+        # there (fail-open); with it disabled, the EX metric absorbs it.
+        counts = result.fault_counts()
+        assert counts.get("execute", 0) + counts.get("verify", 0) >= 1
+        sites = [
+            fault.site
+            for record in result.records
+            if record.report is not None
+            for fault in record.report.faults
+        ]
+        assert "executor.execute" in sites
         assert 0.0 < result.degraded_rate <= 1.0
 
 
