@@ -50,6 +50,7 @@ FAILPOINTS: tuple[str, ...] = (
     "persist.save",
     "persist.finalize",
     "serve.handle",
+    "router.swap",
 )
 
 
@@ -442,6 +443,15 @@ class BreakerBoard:
 
     def states(self) -> dict[str, str]:
         return {s: b.state for s, b in self._breakers.items()}
+
+    def any_open(self) -> bool:
+        """Whether any stage's breaker is currently open.
+
+        The tenancy layer's readiness check: a tenant whose board has an
+        open breaker is degraded (some stage is being skipped), which
+        the service surfaces through ``HealthSnapshot.ready``.
+        """
+        return any(state == "open" for state in self.states().values())
 
     def snapshot(self) -> dict[str, dict]:
         return {s: b.snapshot() for s, b in self._breakers.items()}

@@ -33,13 +33,23 @@ def _observe_seconds(name: str, help: str, seconds: float) -> None:
 
 
 class CheckpointStore:
-    """Keep the last *keep* good checkpoints of a pipeline under *root*."""
+    """Keep the last *keep* good checkpoints of a pipeline under *root*.
 
-    def __init__(self, root: str | pathlib.Path, keep: int = 3) -> None:
+    An optional *journal* (:class:`repro.obs.journal.Journal`) receives
+    a ``checkpoint_skipped`` event for every corrupt/torn snapshot the
+    recovery walk steps over — the happy path used to skip silently,
+    which hid slow media corruption until the last good snapshot was
+    gone.
+    """
+
+    def __init__(
+        self, root: str | pathlib.Path, keep: int = 3, journal=None
+    ) -> None:
         if keep < 1:
             raise ValueError("a checkpoint store must keep at least one")
         self.root = pathlib.Path(root)
         self.keep = keep
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # Inspection.
@@ -99,11 +109,33 @@ class CheckpointStore:
         os.replace(staged, pointer)
 
     def _prune(self, keep_name: str) -> None:
+        self.prune(protect=keep_name)
+
+    def prune(self, keep: int | None = None, protect: str | None = None) -> list[str]:
+        """Delete stale ``ckpt-NNNNNNNN`` rotations beyond *keep*.
+
+        *keep* defaults to the store's configured retention; the
+        ``LATEST`` pointer's snapshot (and *protect*, when given) is
+        never deleted even if it falls in the stale range.  Returns the
+        deleted snapshot names, oldest first.
+        """
+        if keep is None:
+            keep = self.keep
+        if keep < 1:
+            raise ValueError("prune must keep at least one snapshot")
+        pointer = self.latest()
+        protected = {protect} if protect else set()
+        if pointer is not None:
+            protected.add(pointer.name)
         snapshots = self.snapshots()
-        excess = len(snapshots) - self.keep
+        excess = len(snapshots) - keep
+        deleted: list[str] = []
         for path in snapshots[:excess] if excess > 0 else []:
-            if path.name != keep_name:
-                shutil.rmtree(path, ignore_errors=True)
+            if path.name in protected:
+                continue
+            shutil.rmtree(path, ignore_errors=True)
+            deleted.append(path.name)
+        return deleted
 
     # ------------------------------------------------------------------
     # Recovery.
@@ -125,10 +157,7 @@ class CheckpointStore:
                 pipeline = load_pipeline(path, config)
             except CheckpointError as exc:
                 tried.append((path.name, str(exc)))
-                get_registry().counter(
-                    "checkpoint_snapshots_skipped_total",
-                    "Corrupt/torn snapshots skipped during recovery.",
-                ).inc()
+                self._record_skip(path.name, exc)
                 continue
             _observe_seconds(
                 "checkpoint_load_seconds",
@@ -145,6 +174,31 @@ class CheckpointStore:
             f"no loadable checkpoint under {self.root} ({detail})",
             path=self.root,
         )
+
+    def _record_skip(self, name: str, exc: CheckpointError) -> None:
+        """A corrupt snapshot was stepped over: count it and journal it.
+
+        Silent skipping is the recovery walk working as designed, but it
+        must still be *observable* — a store quietly burning through its
+        rotation is a disk going bad.
+        """
+        get_registry().counter(
+            "metasql_checkpoint_skipped_corrupt_total",
+            "Corrupt/torn snapshots skipped during recovery.",
+        ).inc()
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(
+                {
+                    "event": "checkpoint_skipped",
+                    "store": str(self.root),
+                    "snapshot": name,
+                    "error": str(exc),
+                }
+            )
+        except Exception:  # repolint: allow[broad-except] — journalling never fails recovery
+            pass
 
     def _recovery_order(self) -> list[pathlib.Path]:
         ordered: list[pathlib.Path] = []

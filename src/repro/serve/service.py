@@ -23,12 +23,24 @@ fault isolation (PR 1):
   the rolling degraded-rate (same notion as ``EvalResult.degraded_rate``).
 - **Observability** — every request feeds the service's
   :class:`~repro.obs.metrics.MetricsRegistry` (queue depth/wait,
-  in-flight, retries, rejections, end-to-end latency; the pipeline adds
-  its per-stage metrics under the same registry via an ambient scope),
+  in-flight, retries, rejections, end-to-end latency — all
+  tenant-labelled; the pipeline adds its per-stage metrics under the
+  same registry via an ambient scope),
   :meth:`TranslationService.metrics` renders it in the Prometheus text
   format, and an optional :class:`~repro.obs.journal.Journal` records a
   per-request JSONL summary for offline analysis
   (:mod:`repro.eval.journal_analysis`).
+- **Multi-tenancy** — every submit/translate call dispatches through a
+  :class:`~repro.tenancy.router.Router`: the tenant's admission quota
+  is charged *before* the shared queue (a noisy tenant gets typed
+  :class:`~repro.sqlkit.errors.TenantOverloaded` while its neighbours'
+  admission path is untouched), each translation runs on a
+  :class:`~repro.tenancy.registry.ShardLease` so in-flight requests
+  survive a zero-downtime :meth:`Router.swap`, and
+  :meth:`TranslationService.health` carries a per-tenant section.  A
+  service built from a bare pipeline wraps it as the unmetered
+  ``default`` tenant — that path is bit-identical to the pre-tenancy
+  behaviour.
 
 The service is deliberately synchronous-thread-pool shaped: the pipeline
 is pure CPU-bound Python/numpy, so a small worker pool bounded by a
@@ -57,12 +69,25 @@ from repro.eval.evaluate import reports_degraded_rate
 from repro.obs.journal import Journal
 from repro.obs.metrics import MetricsRegistry, get_registry, registry_scope
 from repro.schema.database import Database
-from repro.sqlkit.errors import Overloaded, ServiceStopped
+from repro.sqlkit.errors import (
+    ConfigError,
+    Overloaded,
+    ServiceStopped,
+    TenantOverloaded,
+)
+from repro.tenancy.registry import Tenant
+from repro.tenancy.router import Router
 
 
 @dataclass
 class ServiceConfig:
-    """Serving knobs (all deterministic-testable via injectable hooks)."""
+    """Serving knobs (all deterministic-testable via injectable hooks).
+
+    Validated eagerly at construction: a nonsensical value raises a
+    typed :class:`~repro.sqlkit.errors.ConfigError` (a ``ValueError``
+    rooted at ``SqlError``) at the call site instead of failing deep in
+    the worker loop.
+    """
 
     workers: int = 2
     queue_limit: int = 16
@@ -80,6 +105,40 @@ class ServiceConfig:
     #: When set, a per-request JSONL event journal is appended here
     #: (crash-safe; see :mod:`repro.obs.journal`).
     journal_path: str | pathlib.Path | None = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` for any out-of-range knob."""
+        if self.workers <= 0:
+            raise ConfigError(
+                f"service needs at least one worker, got {self.workers!r}"
+            )
+        if self.queue_limit <= 0:
+            raise ConfigError(
+                f"service needs a positive queue limit, "
+                f"got {self.queue_limit!r}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigError(
+                f"default deadline must be positive seconds, "
+                f"got {self.default_deadline!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries cannot be negative, got {self.max_retries!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError(
+                f"backoff bounds cannot be negative, got "
+                f"base={self.backoff_base!r} cap={self.backoff_cap!r}"
+            )
+        if self.health_window <= 0:
+            raise ConfigError(
+                f"health window must be positive, "
+                f"got {self.health_window!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -100,11 +159,22 @@ class HealthSnapshot:
     breakers: dict[str, str] = field(default_factory=dict)
     #: Seconds since the service started, on its injectable clock.
     uptime_seconds: float = 0.0
+    #: Per-tenant section: queue share (pending/max_share), breaker
+    #: states, shard epoch, last swap time/outcome — one entry per
+    #: registered tenant (see :meth:`Tenant.snapshot`).
+    tenants: dict[str, dict] = field(default_factory=dict)
 
     @property
     def ready(self) -> bool:
-        """Whether a new request would currently be admitted."""
-        return self.accepting and self.queue_depth < self.queue_capacity
+        """Whether a new request would currently be admitted *and* every
+        tenant is healthy: a tenant stuck with an open breaker board
+        makes the service not-ready so orchestrators stop routing to it.
+        """
+        if not (self.accepting and self.queue_depth < self.queue_capacity):
+            return False
+        return not any(
+            tenant.get("breaker_open") for tenant in self.tenants.values()
+        )
 
     def as_dict(self) -> dict:
         """JSON-ready representation (round-trips via :meth:`from_dict`).
@@ -128,7 +198,9 @@ class _Job:
     db: Database
     deadline: Deadline | None
     future: Future
+    tenant: Tenant
     submitted_at: float = 0.0  # service clock, for queue-wait metrics
+    shard_epoch: int | None = None  # epoch the last attempt ran on
 
 
 #: Queue sentinel that tells a worker to exit its loop.
@@ -136,32 +208,34 @@ _SHUTDOWN = object()
 
 
 class TranslationService:
-    """Bounded-queue, deadline-aware front-end around one pipeline.
+    """Bounded-queue, deadline-aware front-end around tenant shards.
 
     >>> service = TranslationService(pipeline, ServiceConfig(workers=4))
     >>> result = service.translate("How many heads are older than 56?", db)
     >>> service.health().ready
     True
 
-    The pipeline object is shared across workers; its stages are
-    stateless at inference time and its breaker board is thread-safe.
+    The first argument is either one pipeline — wrapped as the
+    unmetered ``default`` tenant of a fresh
+    :class:`~repro.tenancy.router.Router`, preserving the pre-tenancy
+    behaviour bit-for-bit — or a ready Router holding many tenants, in
+    which case ``submit(..., tenant="acme")`` addresses a specific
+    tenant's shard and quota.  Pipeline objects are shared across
+    workers; their stages are stateless at inference time and breaker
+    boards are thread-safe.
     """
 
     def __init__(
         self,
-        pipeline: MetaSQL,
+        pipeline: "MetaSQL | Router",
         config: ServiceConfig | None = None,
         sleep=time.sleep,
         clock=time.monotonic,
         registry: MetricsRegistry | None = None,
         journal: Journal | None = None,
     ) -> None:
-        self.pipeline = pipeline
         self.config = config or ServiceConfig()
-        if self.config.workers <= 0:
-            raise ValueError("service needs at least one worker")
-        if self.config.queue_limit <= 0:
-            raise ValueError("service needs a positive queue limit")
+        self.config.validate()
         self._sleep = sleep
         self._clock = clock
         self._started = clock()
@@ -175,6 +249,14 @@ class TranslationService:
             self._journal = Journal(self.config.journal_path)
         else:
             self._journal = None
+        if isinstance(pipeline, Router):
+            self.router = pipeline
+        else:
+            self.router = Router.single(pipeline)
+        # Swap events land in the same journal as requests (unless the
+        # router already writes its own).
+        if self.router.journal is None:
+            self.router.journal = self._journal
         self._rng = random.Random(self.config.jitter_seed)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
         self._lock = threading.Lock()
@@ -200,8 +282,19 @@ class TranslationService:
         for worker in self._workers:
             worker.start()
 
+    @property
+    def pipeline(self):
+        """The default tenant's *current* shard (live across hot swaps)."""
+        return self.router.default_pipeline
+
     def _init_metrics(self) -> None:
-        """Create (or re-bind) the service's instrument handles."""
+        """Create (or re-bind) the service's instrument handles.
+
+        Every per-request series carries a ``tenant`` label so one
+        tenant's traffic, rejections and latency can be read apart from
+        its neighbours'; the single-tenant path labels everything
+        ``default``.
+        """
         registry = self.registry
         self._m_queue_depth = registry.gauge(
             "serve_queue_depth", "Requests waiting in the admission queue."
@@ -212,21 +305,28 @@ class TranslationService:
         self._m_queue_wait = registry.histogram(
             "serve_queue_wait_seconds",
             "Seconds a request waited in the queue before a worker took it.",
+            labelnames=("tenant",),
         )
         self._m_latency = registry.histogram(
             "serve_e2e_latency_seconds",
             "End-to-end seconds from admission to completion.",
+            labelnames=("tenant",),
         )
         self._m_requests = registry.counter(
             "serve_requests_total",
-            "Finished requests by outcome.",
-            labelnames=("outcome",),
+            "Finished requests by outcome and tenant.",
+            labelnames=("outcome", "tenant"),
         )
         self._m_rejected = registry.counter(
-            "serve_rejected_total", "Requests shed by admission control."
+            "serve_rejected_total",
+            "Requests shed by admission control, by tenant and reason "
+            "(queue = global bounded queue, quota = per-tenant limits).",
+            labelnames=("tenant", "reason"),
         )
         self._m_retries = registry.counter(
-            "serve_retries_total", "Service-level transient-fault retries."
+            "serve_retries_total",
+            "Service-level transient-fault retries.",
+            labelnames=("tenant",),
         )
 
     # ------------------------------------------------------------------
@@ -237,12 +337,19 @@ class TranslationService:
         question: str,
         db: Database,
         deadline: Deadline | float | None = None,
+        tenant: str | None = None,
     ) -> "Future[RankedResult]":
         """Admit a translation request; returns a Future of RankedResult.
 
-        Raises :class:`Overloaded` when the work queue is full (shed
-        load; the caller may retry after backoff) and
-        :class:`ServiceStopped` after :meth:`shutdown`.
+        *tenant* addresses a registered tenant's shard and quota (None:
+        the default/only tenant).  Raises
+        :class:`~repro.sqlkit.errors.TenantOverloaded` when the tenant's
+        token-bucket rate or bounded queue share is exhausted — other
+        tenants are unaffected — :class:`Overloaded` when the shared
+        work queue is full (shed load; the caller may retry after
+        backoff), :class:`~repro.sqlkit.errors.UnknownTenant` for an
+        unregistered tenant id, and :class:`ServiceStopped` after
+        :meth:`shutdown`.
         """
         with self._lock:
             accepting = self._accepting
@@ -253,20 +360,33 @@ class TranslationService:
                 deadline = Deadline(self.config.default_deadline)
         elif not isinstance(deadline, Deadline):
             deadline = Deadline(float(deadline))
+        try:
+            tenant_obj = self.router.admit(tenant)
+        except TenantOverloaded as exc:
+            with self._lock:
+                self._rejected += 1
+            self._m_rejected.labels(
+                tenant=exc.tenant_id, reason="quota"
+            ).inc()
+            raise
         future: Future = Future()
         job = _Job(
             question=question,
             db=db,
             deadline=deadline,
             future=future,
+            tenant=tenant_obj,
             submitted_at=self._clock(),
         )
         try:
             self._queue.put_nowait(job)
         except queue.Full:
+            tenant_obj.release()
             with self._lock:
                 self._rejected += 1
-            self._m_rejected.inc()
+            self._m_rejected.labels(
+                tenant=tenant_obj.tenant_id, reason="queue"
+            ).inc()
             raise Overloaded(
                 self._queue.qsize(), self.config.queue_limit
             ) from None
@@ -277,6 +397,7 @@ class TranslationService:
         self,
         requests: list[tuple[str, Database]],
         deadline: Deadline | float | None = None,
+        tenant: str | None = None,
     ) -> "list[Future[RankedResult]]":
         """Admit a batch of ``(question, db)`` requests, one Future each.
 
@@ -290,7 +411,8 @@ class TranslationService:
         safe under concurrent workers.
         """
         return [
-            self.submit(question, db, deadline) for question, db in requests
+            self.submit(question, db, deadline, tenant=tenant)
+            for question, db in requests
         ]
 
     def translate(
@@ -299,9 +421,12 @@ class TranslationService:
         db: Database,
         deadline: Deadline | float | None = None,
         timeout: float | None = None,
+        tenant: str | None = None,
     ) -> RankedResult:
         """Synchronous submit + wait (the simple-client entry point)."""
-        return self.submit(question, db, deadline).result(timeout=timeout)
+        return self.submit(question, db, deadline, tenant=tenant).result(
+            timeout=timeout
+        )
 
     # ------------------------------------------------------------------
     # Workers.
@@ -315,9 +440,9 @@ class TranslationService:
                 self._m_queue_depth.set(self._queue.qsize())
                 if not job.future.set_running_or_notify_cancel():
                     continue
-                self._m_queue_wait.observe(
-                    max(0.0, self._clock() - job.submitted_at)
-                )
+                self._m_queue_wait.labels(
+                    tenant=job.tenant.tenant_id
+                ).observe(max(0.0, self._clock() - job.submitted_at))
                 with self._lock:
                     self._in_flight += 1
                 self._m_in_flight.inc()
@@ -339,9 +464,13 @@ class TranslationService:
                 self._queue.task_done()
 
     def _finish_job(self, job: _Job, outcome: str) -> None:
+        job.tenant.release()
+        tenant_id = job.tenant.tenant_id
         self._m_in_flight.dec()
-        self._m_requests.labels(outcome=outcome).inc()
-        self._m_latency.observe(max(0.0, self._clock() - job.submitted_at))
+        self._m_requests.labels(outcome=outcome, tenant=tenant_id).inc()
+        self._m_latency.labels(tenant=tenant_id).observe(
+            max(0.0, self._clock() - job.submitted_at)
+        )
 
     def _handle(self, job: _Job) -> RankedResult:
         fire("serve.handle")
@@ -350,11 +479,15 @@ class TranslationService:
             # The registry scope routes the pipeline's per-stage metrics
             # (and breaker-transition callbacks) into this service's
             # registry even though workers run outside the constructor's
-            # context.
+            # context.  The shard lease is taken per attempt: one
+            # translation runs entirely on one (pipeline, epoch) pair,
+            # and a retry after a hot swap lands on the new shard.
             with registry_scope(self.registry), deadline_scope(job.deadline):
-                result = self.pipeline.translate_ranked_report(
-                    job.question, job.db
-                )
+                with self.router.lease(job.tenant.tenant_id) as lease:
+                    job.shard_epoch = lease.epoch
+                    result = lease.pipeline.translate_ranked_report(
+                        job.question, job.db
+                    )
             self._observe(result.report)
             if (
                 self._retryable(result)
@@ -363,7 +496,7 @@ class TranslationService:
             ):
                 with self._lock:
                     self._retried += 1
-                self._m_retries.inc()
+                self._m_retries.labels(tenant=job.tenant.tenant_id).inc()
                 self._sleep(self._backoff(attempt))
                 attempt += 1
                 continue
@@ -379,6 +512,8 @@ class TranslationService:
         report = result.report
         record = {
             "event": "translate",
+            "tenant": job.tenant.tenant_id,
+            "shard_epoch": job.shard_epoch,
             "question": job.question,
             "ok": bool(result.translations),
             "translations": len(result.translations),
@@ -443,9 +578,13 @@ class TranslationService:
 
         Every counter — including ``accepting`` and the uptime read —
         is taken under the one service lock, so the snapshot is a
-        consistent point-in-time view, not a mix of racing reads.
+        consistent point-in-time view, not a mix of racing reads.  The
+        per-tenant section (and the top-level ``breakers``, which stays
+        the default tenant's board for backward compatibility) is
+        assembled outside the lock: tenant state has its own locks.
         """
-        board = self.pipeline.breakers
+        board = getattr(self.pipeline, "breakers", None)
+        tenants = self.router.snapshot()
         with self._lock:
             return HealthSnapshot(
                 accepting=self._accepting,
@@ -461,7 +600,21 @@ class TranslationService:
                 deadline_expired=self._deadline_expired,
                 breakers=board.states() if board is not None else {},
                 uptime_seconds=max(0.0, self._clock() - self._started),
+                tenants=tenants,
             )
+
+    def swap(self, source, tenant: str | None = None, config=None) -> int:
+        """Hot-swap a tenant's shard with zero downtime.
+
+        Passthrough to :meth:`repro.tenancy.router.Router.swap` (None
+        addresses the default/only tenant): in-flight requests finish on
+        the old shard, new admissions see the new epoch, and a corrupt
+        snapshot rolls back automatically with a typed
+        :class:`~repro.sqlkit.errors.TenantSwapError`.
+        """
+        tenant_obj = self.router.resolve(tenant)
+        with registry_scope(self.registry):
+            return self.router.swap(tenant_obj.tenant_id, source, config)
 
     def metrics(self) -> str:
         """The service's registry in the Prometheus text format.

@@ -1,0 +1,110 @@
+"""Per-tenant admission quotas: token buckets and bounded queue shares.
+
+The serving layer's global bounded queue (PR 2) protects the *process*;
+these primitives protect the *neighbours*.  Each tenant may carry a
+:class:`TenantQuota` — a sustained token-bucket admission rate plus a
+bounded share of the global queue — enforced at submit time, before the
+request ever touches the shared queue.  A tenant that floods gets typed
+:class:`~repro.sqlkit.errors.TenantOverloaded` rejections while every
+other tenant's admission path is untouched.
+
+Both knobs are optional and default to "unmetered", so the single-tenant
+fast path pays nothing (``TenantQuota()`` admits everything and the
+default tenant created by ``Router.single`` carries no quota at all).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sqlkit.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant (both limits optional).
+
+    - ``rate``/``burst`` — a token bucket: sustained admissions per
+      second with a ``burst``-deep reservoir, so short spikes pass and
+      sustained floods are shed.
+    - ``max_share`` — the tenant's bounded share of the global queue:
+      at most this many of the tenant's requests may be queued or in
+      flight at once, so even a tenant whose bucket is generous cannot
+      monopolize the shared worker pool.
+    """
+
+    #: Sustained admissions per second; None leaves the rate unmetered.
+    rate: float | None = None
+    #: Token-bucket capacity (ignored when ``rate`` is None).
+    burst: int = 8
+    #: Max queued + in-flight requests for the tenant; None = unbounded.
+    max_share: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigError(
+                f"tenant quota rate must be positive, got {self.rate!r}"
+            )
+        if self.burst < 1:
+            raise ConfigError(
+                f"tenant quota burst must be >= 1, got {self.burst!r}"
+            )
+        if self.max_share is not None and self.max_share < 1:
+            raise ConfigError(
+                f"tenant quota max_share must be >= 1, got {self.max_share!r}"
+            )
+
+    @property
+    def unmetered(self) -> bool:
+        """Whether this quota admits everything (no limits set)."""
+        return self.rate is None and self.max_share is None
+
+
+class TokenBucket:
+    """Thread-safe token bucket with an injectable monotonic clock.
+
+    Tokens refill continuously at ``rate`` per second up to ``burst``;
+    :meth:`try_acquire` is non-blocking — admission control sheds, it
+    never waits.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigError(f"token bucket rate must be positive: {rate!r}")
+        if burst <= 0:
+            raise ConfigError(f"token bucket burst must be positive: {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._tokens = float(burst)  # start full: cold tenants get a burst
+        self._refilled_at = self._clock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take *amount* tokens if available; never blocks."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (after refill), for health snapshots."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens

@@ -37,13 +37,15 @@ pytestmark = pytest.mark.robustness
 #: separately); ``repair.regenerate`` only fires when the verified top-1
 #: hard-fails (exercised in ``tests/test_verify_repair.py``); the
 #: persist and serve sites belong to the durability/serving layer and
-#: are exercised in ``tests/test_serve.py``.
+#: are exercised in ``tests/test_serve.py``; the router site belongs to
+#: the tenancy layer and is exercised in ``tests/test_tenancy.py``.
 NON_TRANSLATE_FAILPOINTS = {
     "executor.execute",
     "repair.regenerate",
     "persist.save",
     "persist.finalize",
     "serve.handle",
+    "router.swap",
 }
 PIPELINE_FAILPOINTS = [
     site for site in FAILPOINTS if site not in NON_TRANSLATE_FAILPOINTS
