@@ -1,0 +1,139 @@
+"""Operational-intelligence overhead on the serve hot path (target: <5%).
+
+PR 8 adds three per-request sinks behind ``TranslationService._publish``:
+``SloEngine.observe`` (classify + four sliding windows + burn-rate
+latches per spec), ``SloEngine.alerting`` (the latch read), and
+``FlightRecorder.consider`` (one lock'd reason check, plus the entry
+copy when the request is interesting).  This benchmark measures a real
+trained pipeline's translate latency, micro-times each sink exactly as
+the publish path invokes it — the stock three-spec objective set, a
+healthy record (the common case: considered and dropped), and a faulted
+record (captured) — and asserts the summed per-request cost stays below
+the 5% budget.  A scrape-path timing (``render_prometheus`` with the
+``metasql_slo_*``/``metasql_recorder_*`` families live) rides along for
+the ops-endpoint picture, and the numbers land in
+``results/BENCH_ops.json`` for CI.
+
+Run with ``pytest benchmarks/bench_ops.py``.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+from repro.core.classifier import ClassifierConfig
+from repro.core.pipeline import MetaSQL, MetaSQLConfig
+from repro.data.spider import build_spider
+from repro.models.registry import create_model
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SloEngine,
+    default_slos,
+    registry_scope,
+)
+
+REPS = 10
+
+
+def _per_call(fn, number: int) -> float:
+    return min(timeit.repeat(fn, number=number, repeat=3)) / number
+
+
+def _trained_pipeline():
+    """A small but fully trained pipeline (seconds, not minutes)."""
+    bench = build_spider(seed=11, train_per_domain=30, dev_per_domain=6)
+    config = MetaSQLConfig(
+        ranker_train_questions=90, classifier=ClassifierConfig(epochs=25)
+    )
+    pipeline = MetaSQL(create_model("lgesql"), config)
+    pipeline.train(bench.train)
+    return pipeline, bench
+
+
+def _record(good: bool) -> dict:
+    return {
+        "event": "translate",
+        "tenant": "default",
+        "latency_s": 0.02,
+        "degraded": not good,
+        "deadline_expired": False,
+        "faults": [] if good else [{"stage": "stage1", "fallback": "x"}],
+        "verify_demoted": 0,
+        "repair_attempts": 0,
+    }
+
+
+def test_ops_overhead_under_five_percent(record_result, bench_metrics):
+    pipeline, bench = _trained_pipeline()
+    examples = bench.dev.examples[:4]
+    jobs = [
+        (example.question, bench.dev.database(example.db_id))
+        for example in examples
+    ]
+
+    registry = MetricsRegistry()
+
+    def run_translations():
+        with registry_scope(registry):
+            for question, db in jobs:
+                pipeline.translate_ranked_report(question, db)
+
+    run_translations()  # warm caches before timing
+    t_translate = timeit.timeit(run_translations, number=REPS) / (
+        REPS * len(jobs)
+    )
+
+    # Micro-time the publish-path sinks as the service invokes them:
+    # the stock three-spec objective set over a steady request stream.
+    engine = SloEngine(default_slos(), registry=registry)
+    good_record = _record(good=True)
+    n_micro = 5_000
+    t_observe = _per_call(lambda: engine.observe(good_record), n_micro)
+    t_alerting = _per_call(engine.alerting, n_micro)
+
+    recorder = FlightRecorder(capacity=256, registry=registry)
+    t_drop = _per_call(
+        lambda: recorder.consider(good_record), n_micro
+    )
+    bad_record = _record(good=False)
+    t_capture = _per_call(
+        lambda: recorder.consider(bad_record), n_micro
+    )
+
+    # The scrape path an ops endpoint hits, with the new families live.
+    t_render = _per_call(registry.render_prometheus, 200)
+
+    # Steady state: every request is observed, the latch is read, and
+    # the recorder considers-and-drops; captures are the fault path.
+    per_request = t_observe + t_alerting + t_drop
+    overhead = per_request / t_translate
+
+    rendered = "\n".join(
+        [
+            "ops overhead (publish path, stock SLO set)",
+            f"  translate (trained):        {t_translate * 1e3:8.3f} ms",
+            f"  slo observe (3 specs):      {t_observe * 1e6:8.2f} us",
+            f"  slo alerting read:          {t_alerting * 1e6:8.2f} us",
+            f"  recorder consider (drop):   {t_drop * 1e6:8.2f} us",
+            f"  recorder consider (capture):{t_capture * 1e6:8.2f} us",
+            f"  /metrics render:            {t_render * 1e3:8.3f} ms",
+            f"  per-request additions:      {per_request * 1e6:8.2f} us",
+            f"  overhead vs translate:      {overhead * 100:6.2f} %",
+        ]
+    )
+    record_result("ops", rendered)
+    bench_metrics(
+        "ops",
+        {
+            "translate_ms": t_translate * 1e3,
+            "slo_observe_us": t_observe * 1e6,
+            "slo_alerting_us": t_alerting * 1e6,
+            "recorder_drop_us": t_drop * 1e6,
+            "recorder_capture_us": t_capture * 1e6,
+            "metrics_render_ms": t_render * 1e3,
+            "overhead_pct": overhead * 100,
+        },
+    )
+
+    assert overhead < 0.05

@@ -291,6 +291,14 @@ class Histogram(_Family):
         containing bucket, and clamped to the observed range — the same
         trade-off as ``histogram_quantile`` in PromQL, without retaining
         samples.  Returns NaN with no observations.
+
+        Edge buckets interpolate against the *observed* range, not an
+        imaginary one: the first bucket's lower edge is the observed min
+        (there is no lower bound to extrapolate from — assuming 0.0
+        skews every estimate for data far below the first bound, and is
+        simply wrong for negative observations), every bucket's upper
+        edge is capped at the observed max, and the +Inf bucket has no
+        finite edge at all so it answers with the observed max.
         """
         if not 0.0 <= q <= 1.0:
             raise MetricError(f"quantile must be in [0, 1], got {q}")
@@ -304,8 +312,12 @@ class Histogram(_Family):
                     continue
                 if seen + count >= rank:
                     if index < len(self.bounds):
-                        upper = self.bounds[index]
-                        lower = self.bounds[index - 1] if index else 0.0
+                        upper = min(self.bounds[index], self._max)
+                        lower = (
+                            self.bounds[index - 1]
+                            if index
+                            else min(self._min, upper)
+                        )
                     else:  # +Inf bucket: fall back to the observed max
                         return self._max
                     fraction = (rank - seen) / count

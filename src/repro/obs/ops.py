@@ -1,0 +1,221 @@
+"""A live operational endpoint over stdlib ``http.server``.
+
+:class:`OpsServer` exposes what the serving layer already knows — the
+Prometheus exposition, the health snapshot, SLO state, and the flight
+recorder's captured entries — on a small threaded HTTP listener so a
+scraper, an orchestrator probe, or ``tools/opsctl.py`` can reach a
+*running* service without any in-process access:
+
+========================  ==============================================
+``/metrics``              Prometheus text (``render_prometheus()``)
+``/healthz``              liveness: 200 + the health snapshot JSON
+``/readyz``               readiness: 200/503 from ``HealthSnapshot.ready``
+                          (``?tenant=x`` scopes to one tenant's section)
+``/slo``                  SLO statuses + the names currently firing
+``/debug/flightrecorder`` captured entries (``?tenant=x&limit=N``)
+========================  ==============================================
+
+The server is source-agnostic: each route is a plain callable injected
+at construction (``None`` routes answer 404), so tests can serve stubs
+and :class:`~repro.serve.service.TranslationService` wires its own
+methods in.  Binding to port 0 picks an ephemeral port (tests);
+:meth:`close` shuts the listener down cleanly — in-flight responses
+finish, the socket closes, the thread joins.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+#: The route table rendered into 404 bodies.
+ROUTES = (
+    "/metrics",
+    "/healthz",
+    "/readyz",
+    "/slo",
+    "/debug/flightrecorder",
+)
+
+
+class OpsServer:
+    """Threaded HTTP listener over injected ops callables.
+
+    *metrics* returns the exposition text; *health* a JSON-ready dict
+    (shape of ``HealthSnapshot.as_dict()``); *slo* a list of JSON-ready
+    SLO status dicts; *recorder* takes ``(tenant, limit)`` and returns a
+    list of JSON-ready flight-recorder entries.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Callable[[], str] | None = None,
+        health: Callable[[], dict] | None = None,
+        slo: Callable[[], list] | None = None,
+        recorder: Callable[[str | None, int | None], list] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._metrics = metrics
+        self._health = health
+        self._slo = slo
+        self._recorder = recorder
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a daemon thread; returns ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        handler = _build_handler(self)
+        server = ThreadingHTTPServer((self.host, self.port), handler)
+        server.daemon_threads = True
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="metasql-ops",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving; safe to call twice."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "OpsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- route handlers (called from the handler thread) ---------------
+
+    def handle(self, path: str, query: dict) -> tuple[int, str, str]:
+        """Dispatch one GET; returns ``(status, content_type, body)``."""
+        if path == "/metrics" and self._metrics is not None:
+            return 200, "text/plain; version=0.0.4", self._metrics()
+        if path == "/healthz" and self._health is not None:
+            return 200, "application/json", _dumps(self._health())
+        if path == "/readyz" and self._health is not None:
+            return self._ready(query)
+        if path == "/slo" and self._slo is not None:
+            statuses = [_as_dict(status) for status in self._slo()]
+            firing = sorted(
+                status["slo"]
+                for status in statuses
+                if status.get("firing")
+            )
+            return (
+                200,
+                "application/json",
+                _dumps({"slos": statuses, "firing": firing}),
+            )
+        if path == "/debug/flightrecorder" and self._recorder is not None:
+            tenant = _first(query, "tenant")
+            limit = _first(query, "limit")
+            entries = self._recorder(
+                tenant, int(limit) if limit is not None else None
+            )
+            return (
+                200,
+                "application/json",
+                _dumps({"count": len(entries), "entries": entries}),
+            )
+        return (
+            404,
+            "application/json",
+            _dumps({"error": f"no route {path!r}", "routes": list(ROUTES)}),
+        )
+
+    def _ready(self, query: dict) -> tuple[int, str, str]:
+        snapshot = self._health()
+        tenant = _first(query, "tenant")
+        if tenant is None:
+            ready = bool(snapshot.get("ready"))
+            body = {"ready": ready}
+        else:
+            section = snapshot.get("tenants", {}).get(tenant)
+            if section is None:
+                return (
+                    404,
+                    "application/json",
+                    _dumps({"error": f"unknown tenant {tenant!r}"}),
+                )
+            ready = bool(snapshot.get("accepting")) and not section.get(
+                "breaker_open"
+            )
+            body = {"ready": ready, "tenant": tenant}
+        return (200 if ready else 503, "application/json", _dumps(body))
+
+
+def _dumps(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True) + "\n"
+
+
+def _as_dict(status: object) -> dict:
+    if hasattr(status, "as_dict"):
+        return status.as_dict()
+    return dict(status)
+
+
+def _first(query: dict, key: str) -> str | None:
+    values = query.get(key)
+    return values[0] if values else None
+
+
+def _build_handler(ops: OpsServer):
+    class _OpsHandler(BaseHTTPRequestHandler):
+        server_version = "metasql-ops/1"
+
+        def do_GET(self) -> None:  # noqa: N802 — http.server API
+            parsed = urlsplit(self.path)
+            try:
+                status, content_type, body = ops.handle(
+                    parsed.path, parse_qs(parsed.query)
+                )
+            except Exception as exc:  # repolint: allow[broad-except] — a broken source must yield 500, not kill the listener
+                status, content_type, body = (
+                    500,
+                    "application/json",
+                    _dumps({"error": f"{type(exc).__name__}: {exc}"}),
+                )
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, format: str, *args) -> None:
+            """Silence per-request stderr logging (scrapes are chatty)."""
+
+    return _OpsHandler

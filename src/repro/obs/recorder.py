@@ -1,0 +1,271 @@
+"""Tail-sampling flight recorder for interesting translations.
+
+A :class:`FlightRecorder` keeps a bounded, thread-safe ring buffer of
+*complete* request payloads — the journal-style summary record plus the
+full ``TranslationReport`` dict with its span tree — but only for the
+requests worth keeping: any fault, degradation, breaker-open, deadline
+expiry, verify demotion or repair attempt, anything arriving while an
+SLO alert is firing, and the slowest decile of recent traffic (a rolling
+latency window supplies the threshold).  Healthy fast requests cost one
+lock'd comparison and are forgotten — tail sampling, decided *after* the
+request finished, so the recorder never has to guess up front.
+
+:meth:`dump_bundle` writes one self-contained debug-bundle JSON —
+captured entries, a metrics snapshot, the health snapshot, and SLO
+state — atomically (tmp + fsync + rename, the persist-layer contract)
+so an operator can pull a single file off a degraded box and inspect it
+offline with ``tools/opsctl.py render``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Bundle schema version (bump on breaking layout changes).
+BUNDLE_VERSION = 1
+
+#: Capture reasons in precedence order: the first matching one labels
+#: the entry (and its ``metasql_recorder_captured_total`` series).
+REASONS = (
+    "breaker_open",
+    "fault",
+    "deadline",
+    "degraded",
+    "verify_demotion",
+    "repair",
+    "slo_alert",
+    "slow",
+)
+
+
+class FlightRecorder:
+    """Bounded ring buffer of tail-sampled request payloads."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        latency_window: int = 512,
+        slow_quantile: float = 0.9,
+        min_latency_samples: int = 20,
+        clock: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if not 0.0 < slow_quantile < 1.0:
+            raise ValueError(
+                f"slow_quantile must be in (0, 1), got {slow_quantile!r}"
+            )
+        self.capacity = capacity
+        self.slow_quantile = slow_quantile
+        self.min_latency_samples = min_latency_samples
+        self._clock = clock if clock is not None else time.time
+        self.registry = registry if registry is not None else get_registry()
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- sampling -------------------------------------------------------
+
+    def _reason(self, record: dict, slo_alerting: bool) -> str | None:
+        """The capture reason for *record*, or None to drop it.
+
+        The rolling slow threshold is computed over the latencies seen
+        *before* this record, then the record's own latency joins the
+        window either way — sampling is deterministic in arrival order.
+        """
+        faults = record.get("faults") or ()
+        latency = record.get("latency_s")
+        reason = None
+        if any(
+            isinstance(f, dict) and f.get("error_type") == "BreakerOpen"
+            for f in faults
+        ):
+            reason = "breaker_open"
+        elif faults:
+            reason = "fault"
+        elif record.get("deadline_expired"):
+            reason = "deadline"
+        elif record.get("degraded"):
+            reason = "degraded"
+        elif record.get("verify_demoted"):
+            reason = "verify_demotion"
+        elif record.get("repair_attempts"):
+            reason = "repair"
+        elif slo_alerting:
+            reason = "slo_alert"
+        elif (
+            isinstance(latency, (int, float))
+            and len(self._latencies) >= self.min_latency_samples
+            and float(latency) >= self._slow_threshold()
+        ):
+            reason = "slow"
+        if isinstance(latency, (int, float)):
+            self._latencies.append(float(latency))
+        return reason
+
+    def _slow_threshold(self) -> float:
+        return float(
+            np.quantile(
+                np.asarray(self._latencies, dtype=np.float64),
+                self.slow_quantile,
+            )
+        )
+
+    def consider(
+        self,
+        record: dict,
+        report: object | None = None,
+        slo_alerting: bool = False,
+    ) -> str | None:
+        """Tail-sample one finished request.
+
+        *record* is the journal-style summary dict; *report* (when
+        given) is the live ``TranslationReport`` whose ``as_dict()`` —
+        including the span tree — rides along on the captured entry.
+        Returns the capture reason, or None when the request was
+        ordinary and dropped.
+        """
+        with self._lock:
+            reason = self._reason(record, slo_alerting)
+            considered = self._counter("considered")
+            if reason is None:
+                considered.inc()
+                return None
+            entry = {
+                "ts": round(self._clock(), 6),
+                "reason": reason,
+                "record": dict(record),
+            }
+            if report is not None and hasattr(report, "as_dict"):
+                entry["report"] = report.as_dict()
+            self._append(entry, reason)
+            considered.inc()
+            return reason
+
+    def capture(self, payload: dict, reason: str) -> dict:
+        """Force-capture an out-of-band event (e.g. a swap rollback)."""
+        entry = {
+            "ts": round(self._clock(), 6),
+            "reason": reason,
+            "record": dict(payload),
+        }
+        with self._lock:
+            self._append(entry, reason)
+        return entry
+
+    def _append(self, entry: dict, reason: str) -> None:
+        """Ring-buffer append; caller holds the lock."""
+        while len(self._entries) >= self.capacity:
+            self._entries.popleft()
+            self._evicted += 1
+            self._counter("evicted").inc()
+        self._entries.append(entry)
+        self.registry.counter(
+            "metasql_recorder_captured_total",
+            "Requests captured by the flight recorder, by reason.",
+            labelnames=("reason",),
+        ).labels(reason=reason).inc()
+        self.registry.gauge(
+            "metasql_recorder_entries",
+            "Entries currently held in the flight-recorder ring.",
+        ).set(float(len(self._entries)))
+
+    def _counter(self, kind: str):
+        if kind == "considered":
+            return self.registry.counter(
+                "metasql_recorder_considered_total",
+                "Finished requests offered to the flight recorder.",
+            )
+        return self.registry.counter(
+            "metasql_recorder_evicted_total",
+            "Captured entries evicted by the ring-buffer capacity bound.",
+        )
+
+    # -- reading --------------------------------------------------------
+
+    def entries(
+        self, tenant: str | None = None, limit: int | None = None
+    ) -> list[dict]:
+        """A snapshot of captured entries, oldest first.
+
+        *tenant* filters on the entry's ``record["tenant"]`` label;
+        *limit* keeps only the most recent N after filtering.
+        """
+        with self._lock:
+            snapshot = [dict(entry) for entry in self._entries]
+        if tenant is not None:
+            snapshot = [
+                entry
+                for entry in snapshot
+                if entry.get("record", {}).get("tenant") == tenant
+            ]
+        if limit is not None and limit >= 0:
+            snapshot = snapshot[-limit:] if limit else []
+        return snapshot
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "evicted": self._evicted,
+                "latency_samples": len(self._latencies),
+            }
+
+    # -- bundling -------------------------------------------------------
+
+    def dump_bundle(
+        self,
+        path: str | pathlib.Path,
+        health: dict | None = None,
+        slo: list[dict] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> pathlib.Path:
+        """Write one debug-bundle JSON for offline diagnosis.
+
+        The bundle lands atomically: serialized to ``<path>.tmp``,
+        fsynced, then renamed over *path* — a crash mid-dump never
+        leaves a torn bundle where tooling expects a whole one.
+        """
+        path = pathlib.Path(path)
+        snapshot = registry if registry is not None else self.registry
+        bundle = {
+            "version": BUNDLE_VERSION,
+            "generated_at": round(self._clock(), 6),
+            "recorder": self.stats(),
+            "entries": self.entries(),
+            "metrics": snapshot.as_dict(),
+            "health": health,
+            "slo": slo if slo is not None else [],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+
+def load_bundle(path: str | pathlib.Path) -> dict:
+    """Read a bundle written by :meth:`FlightRecorder.dump_bundle`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,576 @@
+"""Declarative service-level objectives with burn-rate alerting.
+
+An :class:`SloSpec` states an objective over the translation stream —
+"99% of requests finish under 500 ms", "99.5% are not degraded", "95%
+need no verify demotion" — and an :class:`SloEngine` evaluates a set of
+specs over sliding windows fed by the per-request records the serving
+layer already journals.  Every completed request is one *observation*,
+classified good or bad by the spec's indicator, so a percentile-style
+objective ("p99 latency < X") and an error-rate objective ("degraded
+rate < Y") collapse into the same arithmetic: the good-fraction over a
+window versus the objective.
+
+Alerting follows the multi-window, multi-burn-rate recipe (Google SRE
+workbook): the *burn rate* of a window is ``bad_fraction / (1 -
+objective)`` — how many times faster than sustainable the error budget
+is being spent — and an alert fires only when a short and a long window
+*both* exceed a threshold.  The fast pair (5 m / 1 h, default threshold
+14.4) pages on sharp regressions and clears quickly once the short
+window drains; the slow pair (1 h / 6 h, default threshold 6.0) tickets
+on slow leaks.  A firing/resolving transition is a typed
+:class:`Alert`, appended to the engine's ``transitions`` history, to
+the journal as an ``slo_alert`` event, and to the metrics registry as
+``metasql_slo_*`` series.
+
+Determinism: the clock is injectable and every observation may carry an
+explicit timestamp, so alert state is a *pure function of the
+observation sequence* — replaying the same ``(ts, record)`` stream into
+a fresh engine produces identical transitions (property-tested).  The
+module imports only the stdlib (plus the sibling metrics module), so
+any layer can host an engine without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class SloError(ValueError):
+    """A malformed :class:`SloSpec` (bad objective, window, indicator)."""
+
+
+def _good_latency(spec: "SloSpec", record: dict) -> bool | None:
+    latency = record.get("latency_s")
+    if not isinstance(latency, (int, float)):
+        return None  # not applicable: the record carries no latency
+    return float(latency) <= spec.threshold
+
+
+def _good_not_degraded(spec: "SloSpec", record: dict) -> bool | None:
+    return not record.get("degraded")
+
+
+def _good_no_deadline(spec: "SloSpec", record: dict) -> bool | None:
+    return not record.get("deadline_expired")
+
+
+def _good_no_fault(spec: "SloSpec", record: dict) -> bool | None:
+    return not record.get("faults")
+
+
+def _good_no_demotion(spec: "SloSpec", record: dict) -> bool | None:
+    demoted = record.get("verify_demoted")
+    return not (isinstance(demoted, int) and demoted > 0)
+
+
+def _good_repair(spec: "SloSpec", record: dict) -> bool | None:
+    attempts = record.get("repair_attempts")
+    if not (isinstance(attempts, int) and attempts > 0):
+        return True  # nothing needed repair
+    return bool(record.get("repair_succeeded"))
+
+
+#: indicator name -> classifier(record) -> good / bad / None (skip).
+INDICATORS: dict[str, Callable[["SloSpec", dict], bool | None]] = {
+    "latency": _good_latency,
+    "degraded": _good_not_degraded,
+    "deadline": _good_no_deadline,
+    "fault": _good_no_fault,
+    "verify_demotion": _good_no_demotion,
+    "repair": _good_repair,
+}
+
+#: Alert severities in deterministic evaluation order.
+SEVERITIES = ("page", "ticket")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over the translation stream.
+
+    ``indicator`` names the good/bad classifier (see :data:`INDICATORS`);
+    ``objective`` is the target good-fraction (0.99 = "99% good", an
+    error budget of 1%).  ``threshold`` parameterizes the ``latency``
+    indicator (seconds).  ``tenant`` restricts the spec to one tenant's
+    records; ``per_tenant`` instead tracks every observed tenant in its
+    own window set — one spec, one status per tenant.
+    """
+
+    name: str
+    indicator: str = "degraded"
+    objective: float = 0.99
+    threshold: float | None = None
+    tenant: str | None = None
+    per_tenant: bool = False
+    #: (short, long) window widths in seconds for the paging pair.
+    fast_windows: tuple[float, float] = (300.0, 3600.0)
+    #: Burn-rate threshold both fast windows must exceed to page.
+    fast_burn: float = 14.4
+    #: (short, long) window widths in seconds for the ticketing pair.
+    slow_windows: tuple[float, float] = (3600.0, 21600.0)
+    #: Burn-rate threshold both slow windows must exceed to ticket.
+    slow_burn: float = 6.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`SloError` for any out-of-range field."""
+        if not self.name:
+            raise SloError("an SLO needs a non-empty name")
+        if self.indicator not in INDICATORS:
+            raise SloError(
+                f"unknown SLO indicator {self.indicator!r}; "
+                f"known: {sorted(INDICATORS)}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise SloError(
+                f"objective must be in (0, 1), got {self.objective!r}"
+            )
+        if self.indicator == "latency" and (
+            self.threshold is None or self.threshold <= 0
+        ):
+            raise SloError(
+                "a latency SLO needs a positive threshold in seconds, "
+                f"got {self.threshold!r}"
+            )
+        for pair, label in (
+            (self.fast_windows, "fast"),
+            (self.slow_windows, "slow"),
+        ):
+            if len(pair) != 2 or not 0 < pair[0] < pair[1]:
+                raise SloError(
+                    f"{label}_windows must be (short, long) seconds with "
+                    f"0 < short < long, got {pair!r}"
+                )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise SloError("burn-rate thresholds must be positive")
+        if self.per_tenant and self.tenant is not None:
+            raise SloError(
+                "per_tenant expands by observed tenant; do not also pin "
+                "tenant="
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated bad-fraction (1 - objective)."""
+        return 1.0 - self.objective
+
+    def classify(self, record: dict) -> bool | None:
+        """good (True) / bad (False) / not-applicable (None)."""
+        return INDICATORS[self.indicator](self, record)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "indicator": self.indicator,
+            "objective": self.objective,
+            "threshold": self.threshold,
+            "tenant": self.tenant,
+            "per_tenant": self.per_tenant,
+            "fast_windows": list(self.fast_windows),
+            "fast_burn": self.fast_burn,
+            "slow_windows": list(self.slow_windows),
+            "slow_burn": self.slow_burn,
+            "description": self.description,
+        }
+
+
+def default_slos(
+    latency_threshold: float = 1.0,
+    latency_objective: float = 0.99,
+    degraded_objective: float = 0.99,
+    demotion_objective: float = 0.95,
+) -> tuple[SloSpec, ...]:
+    """The stock objective set the serving layer ships with."""
+    return (
+        SloSpec(
+            "latency",
+            indicator="latency",
+            objective=latency_objective,
+            threshold=latency_threshold,
+            description="requests finishing under the latency threshold",
+        ),
+        SloSpec(
+            "availability",
+            indicator="degraded",
+            objective=degraded_objective,
+            description="requests answered without degradation",
+        ),
+        SloSpec(
+            "verify_demotion",
+            indicator="verify_demotion",
+            objective=demotion_objective,
+            description="requests whose top-k survived verification",
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One firing/resolved transition of a spec's alert."""
+
+    slo: str
+    tenant: str
+    severity: str  # "page" | "ticket"
+    state: str  # "firing" | "resolved"
+    at: float
+    burn_short: float
+    burn_long: float
+    windows: tuple[float, float]
+
+    def as_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "tenant": self.tenant,
+            "severity": self.severity,
+            "state": self.state,
+            "at": round(self.at, 6),
+            "burn_short": round(self.burn_short, 6),
+            "burn_long": round(self.burn_long, 6),
+            "windows": list(self.windows),
+        }
+
+
+@dataclass
+class SloStatus:
+    """Point-in-time view of one spec (for one tenant slice)."""
+
+    slo: str
+    tenant: str
+    indicator: str
+    objective: float
+    total: int
+    bad: int
+    compliance: float
+    burn_rates: dict[str, float]
+    alerts: dict[str, bool]
+
+    @property
+    def firing(self) -> bool:
+        return any(self.alerts.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "tenant": self.tenant,
+            "indicator": self.indicator,
+            "objective": self.objective,
+            "total": self.total,
+            "bad": self.bad,
+            "compliance": round(self.compliance, 6),
+            "burn_rates": {
+                name: round(rate, 6)
+                for name, rate in self.burn_rates.items()
+            },
+            "alerts": dict(self.alerts),
+            "firing": self.firing,
+        }
+
+
+class _Window:
+    """Sliding (ts, good) window with O(1)-amortized running counts."""
+
+    __slots__ = ("width", "events", "total", "bad", "max_events")
+
+    def __init__(self, width: float, max_events: int) -> None:
+        self.width = width
+        self.events: deque[tuple[float, bool]] = deque()
+        self.total = 0
+        self.bad = 0
+        self.max_events = max_events
+
+    def add(self, ts: float, good: bool) -> None:
+        while len(self.events) >= self.max_events:
+            self._pop()
+        self.events.append((ts, good))
+        self.total += 1
+        if not good:
+            self.bad += 1
+
+    def _pop(self) -> None:
+        _, good = self.events.popleft()
+        self.total -= 1
+        if not good:
+            self.bad -= 1
+
+    def evict(self, now: float) -> None:
+        horizon = now - self.width
+        while self.events and self.events[0][0] <= horizon:
+            self._pop()
+
+    def burn_rate(self, error_budget: float) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.bad / self.total) / error_budget
+
+
+#: Window slot names in deterministic order: (attr, spec pair, index).
+_WINDOW_SLOTS = (
+    ("fast_short", "fast_windows", 0),
+    ("fast_long", "fast_windows", 1),
+    ("slow_short", "slow_windows", 0),
+    ("slow_long", "slow_windows", 1),
+)
+
+
+class _SpecState:
+    """Windows + alert latches for one (spec, tenant-slice)."""
+
+    def __init__(self, spec: SloSpec, tenant: str, max_events: int) -> None:
+        self.spec = spec
+        self.tenant = tenant
+        self.windows = {
+            name: _Window(getattr(spec, pair)[index], max_events)
+            for name, pair, index in _WINDOW_SLOTS
+        }
+        self.active: dict[str, bool] = {sev: False for sev in SEVERITIES}
+
+    def add(self, ts: float, good: bool) -> None:
+        for window in self.windows.values():
+            window.add(ts, good)
+
+    def burn_rates(self, now: float) -> dict[str, float]:
+        budget = self.spec.error_budget
+        rates = {}
+        for name, window in self.windows.items():
+            window.evict(now)
+            rates[name] = window.burn_rate(budget)
+        return rates
+
+    def update_alerts(
+        self, now: float, rates: dict[str, float]
+    ) -> list[Alert]:
+        """Latch/unlatch both severities; return the transitions."""
+        conditions = {
+            "page": (
+                ("fast_short", "fast_long"),
+                self.spec.fast_burn,
+                self.spec.fast_windows,
+            ),
+            "ticket": (
+                ("slow_short", "slow_long"),
+                self.spec.slow_burn,
+                self.spec.slow_windows,
+            ),
+        }
+        transitions: list[Alert] = []
+        for severity in SEVERITIES:
+            (short, long_), threshold, widths = conditions[severity]
+            firing = (
+                rates[short] >= threshold and rates[long_] >= threshold
+            )
+            if firing == self.active[severity]:
+                continue
+            self.active[severity] = firing
+            transitions.append(
+                Alert(
+                    slo=self.spec.name,
+                    tenant=self.tenant,
+                    severity=severity,
+                    state="firing" if firing else "resolved",
+                    at=now,
+                    burn_short=rates[short],
+                    burn_long=rates[long_],
+                    windows=tuple(widths),
+                )
+            )
+        return transitions
+
+    def status(self, now: float) -> SloStatus:
+        rates = self.burn_rates(now)
+        longest = self.windows["slow_long"]
+        total, bad = longest.total, longest.bad
+        return SloStatus(
+            slo=self.spec.name,
+            tenant=self.tenant,
+            indicator=self.spec.indicator,
+            objective=self.spec.objective,
+            total=total,
+            bad=bad,
+            compliance=1.0 if total == 0 else 1.0 - bad / total,
+            burn_rates=rates,
+            alerts=dict(self.active),
+        )
+
+
+class SloEngine:
+    """Evaluates a set of :class:`SloSpec` over the observation stream.
+
+    Thread-safe: the serving layer's workers call :meth:`observe`
+    concurrently.  Alert transitions accumulate on :attr:`transitions`
+    (the replayable history), land in the optional *journal* as
+    ``slo_alert`` events, and update ``metasql_slo_*`` metrics in
+    *registry* (the ambient registry when none is given).
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[SloSpec],
+        clock: Callable[[], float] | None = None,
+        journal=None,
+        registry: MetricsRegistry | None = None,
+        max_events_per_window: int = 65536,
+    ) -> None:
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            spec.validate()
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise SloError(f"duplicate SLO names in {names}")
+        self._clock = clock if clock is not None else time.monotonic
+        self.journal = journal
+        self.registry = registry if registry is not None else get_registry()
+        self._max_events = max_events_per_window
+        self._lock = threading.Lock()
+        #: (spec name, tenant slice) -> live window state.
+        self._states: dict[tuple[str, str], _SpecState] = {}
+        #: Every firing/resolved transition, in evaluation order.
+        self.transitions: list[Alert] = []
+        for spec in self.specs:
+            if not spec.per_tenant:
+                self._state(spec, spec.tenant or "")
+
+    # -- state plumbing -------------------------------------------------
+
+    def _state(self, spec: SloSpec, tenant: str) -> _SpecState:
+        key = (spec.name, tenant)
+        state = self._states.get(key)
+        if state is None:
+            state = _SpecState(spec, tenant, self._max_events)
+            self._states[key] = state
+        return state
+
+    def _states_for(self, record: dict) -> list[_SpecState]:
+        tenant = record.get("tenant")
+        states = []
+        for spec in self.specs:
+            if spec.per_tenant:
+                states.append(
+                    self._state(spec, str(tenant) if tenant else "default")
+                )
+            elif spec.tenant is None or spec.tenant == tenant:
+                states.append(self._state(spec, spec.tenant or ""))
+        return states
+
+    # -- ingestion and evaluation --------------------------------------
+
+    def observe(self, record: dict, ts: float | None = None) -> list[Alert]:
+        """Fold one request record in; returns the alert transitions.
+
+        *ts* pins the observation time (replay determinism); when
+        omitted the injectable clock is read once.
+        """
+        now = float(ts) if ts is not None else self._clock()
+        fired: list[Alert] = []
+        with self._lock:
+            for state in self._states_for(record):
+                good = state.spec.classify(record)
+                if good is None:
+                    continue
+                state.add(now, bool(good))
+                self._count_event(state, bool(good))
+                rates = state.burn_rates(now)
+                fired.extend(state.update_alerts(now, rates))
+                self._publish_gauges(state, rates)
+            self.transitions.extend(fired)
+        self._emit(fired)
+        return fired
+
+    def evaluate(self, now: float | None = None) -> list[SloStatus]:
+        """Re-evaluate every spec at *now* (clears stale alerts) and
+        return the per-spec (per tenant-slice) statuses."""
+        at = float(now) if now is not None else self._clock()
+        statuses: list[SloStatus] = []
+        fired: list[Alert] = []
+        with self._lock:
+            for key in sorted(self._states):
+                state = self._states[key]
+                rates = state.burn_rates(at)
+                fired.extend(state.update_alerts(at, rates))
+                self._publish_gauges(state, rates)
+                statuses.append(state.status(at))
+            self.transitions.extend(fired)
+        self._emit(fired)
+        return statuses
+
+    def statuses(self) -> list[SloStatus]:
+        """Alias for :meth:`evaluate` at the current clock."""
+        return self.evaluate()
+
+    def alerting(self) -> bool:
+        """Whether any severity of any spec is currently firing."""
+        with self._lock:
+            return any(
+                active
+                for state in self._states.values()
+                for active in state.active.values()
+            )
+
+    # -- side channels (never affect alert state) ----------------------
+
+    def _count_event(self, state: _SpecState, good: bool) -> None:
+        self.registry.counter(
+            "metasql_slo_events_total",
+            "SLO observations by objective, tenant slice, and outcome.",
+            labelnames=("slo", "tenant", "outcome"),
+        ).labels(
+            slo=state.spec.name,
+            tenant=state.tenant,
+            outcome="good" if good else "bad",
+        ).inc()
+
+    def _publish_gauges(
+        self, state: _SpecState, rates: dict[str, float]
+    ) -> None:
+        burn = self.registry.gauge(
+            "metasql_slo_burn_rate",
+            "Error-budget burn rate per objective and sliding window.",
+            labelnames=("slo", "tenant", "window"),
+        )
+        for window, rate in rates.items():
+            burn.labels(
+                slo=state.spec.name, tenant=state.tenant, window=window
+            ).set(rate)
+        active = self.registry.gauge(
+            "metasql_slo_alert_active",
+            "1 while the objective's alert is firing at this severity.",
+            labelnames=("slo", "tenant", "severity"),
+        )
+        for severity in SEVERITIES:
+            active.labels(
+                slo=state.spec.name,
+                tenant=state.tenant,
+                severity=severity,
+            ).set(1.0 if state.active[severity] else 0.0)
+
+    def _emit(self, transitions: list[Alert]) -> None:
+        """Journal + count transitions (best-effort, outside the lock)."""
+        if not transitions:
+            return
+        counter = self.registry.counter(
+            "metasql_slo_alerts_total",
+            "Alert transitions by objective, severity, and state.",
+            labelnames=("slo", "tenant", "severity", "state"),
+        )
+        for alert in transitions:
+            counter.labels(
+                slo=alert.slo,
+                tenant=alert.tenant,
+                severity=alert.severity,
+                state=alert.state,
+            ).inc()
+        if self.journal is None:
+            return
+        for alert in transitions:
+            try:
+                self.journal.append({"event": "slo_alert", **alert.as_dict()})
+            except Exception:  # repolint: allow[broad-except] — alerting must never fail serving
+                pass

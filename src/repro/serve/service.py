@@ -68,6 +68,9 @@ from repro.core.resilience import (
 from repro.eval.evaluate import reports_degraded_rate
 from repro.obs.journal import Journal
 from repro.obs.metrics import MetricsRegistry, get_registry, registry_scope
+from repro.obs.ops import OpsServer
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloEngine, SloSpec
 from repro.schema.database import Database
 from repro.sqlkit.errors import (
     ConfigError,
@@ -105,6 +108,17 @@ class ServiceConfig:
     #: When set, a per-request JSONL event journal is appended here
     #: (crash-safe; see :mod:`repro.obs.journal`).
     journal_path: str | pathlib.Path | None = None
+    #: Declarative service objectives (:class:`~repro.obs.slo.SloSpec`);
+    #: empty disables the SLO engine entirely.
+    slos: tuple = ()
+    #: Ring-buffer capacity of the tail-sampling flight recorder; 0
+    #: disables the recorder entirely.
+    recorder_capacity: int = 0
+    #: When set, an :class:`~repro.obs.ops.OpsServer` is started on
+    #: ``(ops_host, ops_port)`` (0 = ephemeral port); None keeps the
+    #: service endpoint-free.
+    ops_port: int | None = None
+    ops_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -138,6 +152,20 @@ class ServiceConfig:
             raise ConfigError(
                 f"health window must be positive, "
                 f"got {self.health_window!r}"
+            )
+        for spec in self.slos:
+            if not isinstance(spec, SloSpec):
+                raise ConfigError(
+                    f"slos must hold SloSpec objects, got {spec!r}"
+                )
+        if self.recorder_capacity < 0:
+            raise ConfigError(
+                f"recorder capacity cannot be negative, "
+                f"got {self.recorder_capacity!r}"
+            )
+        if self.ops_port is not None and not 0 <= self.ops_port <= 65535:
+            raise ConfigError(
+                f"ops_port must be a port number, got {self.ops_port!r}"
             )
 
 
@@ -233,6 +261,8 @@ class TranslationService:
         clock=time.monotonic,
         registry: MetricsRegistry | None = None,
         journal: Journal | None = None,
+        slo_engine: SloEngine | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.config.validate()
@@ -257,6 +287,31 @@ class TranslationService:
         # router already writes its own).
         if self.router.journal is None:
             self.router.journal = self._journal
+        # Operational-intelligence layer (all opt-in): SLO engine, flight
+        # recorder, ops endpoint.  Injected instances win over config so
+        # tests can drive the engine on a synthetic clock.
+        if slo_engine is not None:
+            self.slo_engine: SloEngine | None = slo_engine
+        elif self.config.slos:
+            self.slo_engine = SloEngine(
+                self.config.slos,
+                clock=clock,
+                journal=self._journal,
+                registry=self.registry,
+            )
+        else:
+            self.slo_engine = None
+        if recorder is not None:
+            self.recorder: FlightRecorder | None = recorder
+        elif self.config.recorder_capacity > 0:
+            self.recorder = FlightRecorder(
+                capacity=self.config.recorder_capacity,
+                registry=self.registry,
+            )
+        else:
+            self.recorder = None
+        if self.recorder is not None:
+            self.router.on_event = self._on_router_event
         self._rng = random.Random(self.config.jitter_seed)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
         self._lock = threading.Lock()
@@ -281,6 +336,19 @@ class TranslationService:
         ]
         for worker in self._workers:
             worker.start()
+        # The ops endpoint starts last: by the time it is reachable the
+        # instrument handles exist and the workers are live.
+        self._ops: OpsServer | None = None
+        if self.config.ops_port is not None:
+            self._ops = OpsServer(
+                host=self.config.ops_host,
+                port=self.config.ops_port,
+                metrics=self.metrics,
+                health=lambda: self.health().as_dict(),
+                slo=self._slo_statuses,
+                recorder=self._recorder_entries,
+            )
+            self._ops.start()
 
     @property
     def pipeline(self):
@@ -500,17 +568,15 @@ class TranslationService:
                 self._sleep(self._backoff(attempt))
                 attempt += 1
                 continue
-            self._journal_request(job, result, attempt)
+            self._publish(job, result, attempt)
             return result
 
-    def _journal_request(
+    def _request_record(
         self, job: _Job, result: RankedResult, retries: int
-    ) -> None:
-        """Append the request's summary line to the event journal."""
-        if self._journal is None:
-            return
+    ) -> dict:
+        """The request's journal-style summary record."""
         report = result.report
-        record = {
+        return {
             "event": "translate",
             "tenant": job.tenant.tenant_id,
             "shard_epoch": job.shard_epoch,
@@ -538,10 +604,31 @@ class TranslationService:
                 for stage, seconds in report.stage_durations().items()
             },
         }
-        try:
-            self._journal.append(record)
-        except Exception:  # repolint: allow[broad-except] — journalling never fails a request
-            pass
+
+    def _publish(
+        self, job: _Job, result: RankedResult, retries: int
+    ) -> None:
+        """Fan the finished request out to journal, SLO engine, recorder.
+
+        Runs on the worker thread after the retry loop settles; none of
+        the sinks may fail the request (journalling swallows errors, the
+        SLO engine and recorder only touch their own state plus the
+        service registry captured at construction).
+        """
+        record = self._request_record(job, result, retries)
+        if self._journal is not None:
+            try:
+                self._journal.append(record)
+            except Exception:  # repolint: allow[broad-except] — journalling never fails a request
+                pass
+        alerting = False
+        if self.slo_engine is not None:
+            self.slo_engine.observe(record)
+            alerting = self.slo_engine.alerting()
+        if self.recorder is not None:
+            self.recorder.consider(
+                record, report=result.report, slo_alerting=alerting
+            )
 
     @staticmethod
     def _retryable(result: RankedResult) -> bool:
@@ -629,8 +716,65 @@ class TranslationService:
             self._m_in_flight.set(self._in_flight)
         return self.registry.render_prometheus()
 
+    # ------------------------------------------------------------------
+    # Operational intelligence (SLO engine / recorder / ops endpoint).
+
+    @property
+    def ops_address(self) -> "tuple[str, int] | None":
+        """``(host, port)`` of the live ops endpoint, or None."""
+        return self._ops.address if self._ops is not None else None
+
+    @property
+    def ops_url(self) -> str | None:
+        """Base URL of the live ops endpoint, or None."""
+        return self._ops.url if self._ops is not None else None
+
+    def _slo_statuses(self) -> list:
+        if self.slo_engine is None:
+            return []
+        return self.slo_engine.evaluate()
+
+    def _recorder_entries(
+        self, tenant: str | None = None, limit: int | None = None
+    ) -> list[dict]:
+        if self.recorder is None:
+            return []
+        return self.recorder.entries(tenant=tenant, limit=limit)
+
+    def _on_router_event(self, record: dict) -> None:
+        """Flight-record swap rollbacks (wired as ``Router.on_event``)."""
+        if self.recorder is None:
+            return
+        if record.get("outcome") == "rollback":
+            self.recorder.capture(record, reason="swap_rollback")
+
+    def dump_bundle(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the flight recorder's debug bundle for this service.
+
+        The bundle carries the captured entries plus the service's
+        current metrics snapshot, health snapshot, and SLO state — one
+        file an operator can pull off a degraded box and inspect with
+        ``tools/opsctl.py render``.  Requires an enabled recorder.
+        """
+        if self.recorder is None:
+            raise ConfigError(
+                "dump_bundle needs a flight recorder "
+                "(set ServiceConfig.recorder_capacity > 0)"
+            )
+        return self.recorder.dump_bundle(
+            path,
+            health=self.health().as_dict(),
+            slo=[status.as_dict() for status in self._slo_statuses()],
+            registry=self.registry,
+        )
+
     def shutdown(self, wait: bool = True) -> None:
-        """Stop admitting; drain admitted requests; stop the workers."""
+        """Stop admitting; drain admitted requests; stop the workers.
+
+        The ops endpoint is closed after the workers drain (so a scrape
+        can still observe the drain) and before the journal closes (its
+        sources stop being read before their sink goes away).
+        """
         with self._lock:
             if not self._accepting:
                 return
@@ -640,6 +784,8 @@ class TranslationService:
         if wait:
             for worker in self._workers:
                 worker.join()
+        if self._ops is not None:
+            self._ops.close()
         if self._journal is not None:
             self._journal.close()
 

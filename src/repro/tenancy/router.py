@@ -61,6 +61,10 @@ class Router:
         self.registry = registry if registry is not None else TenantRegistry()
         self.journal = journal
         self._clock = clock if clock is not None else time.monotonic
+        #: Optional observer called with every swap event record (the
+        #: serving layer hooks this to flight-record rollbacks); raising
+        #: observers are swallowed — routing never fails on telemetry.
+        self.on_event: Callable[[dict], None] | None = None
 
     @classmethod
     def single(cls, pipeline: object, journal=None) -> "Router":
@@ -236,8 +240,6 @@ class Router:
             "Shard hot-swap attempts by tenant and outcome.",
             labelnames=("tenant", "outcome"),
         ).labels(tenant=tenant.tenant_id, outcome=outcome).inc()
-        if self.journal is None:
-            return
         record = {
             "event": "tenant_swap",
             "tenant": tenant.tenant_id,
@@ -246,6 +248,13 @@ class Router:
         }
         if error is not None:
             record["error"] = error
+        if self.on_event is not None:
+            try:
+                self.on_event(dict(record))
+            except Exception:  # repolint: allow[broad-except] — observers never fail a swap
+                pass
+        if self.journal is None:
+            return
         try:
             self.journal.append(record)
         except Exception:  # repolint: allow[broad-except] — journalling never fails a swap

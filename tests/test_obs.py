@@ -20,13 +20,17 @@ from repro.core.resilience import FAULTS, FaultRecord, TranslationReport
 from repro.eval import aggregate_journal, evaluate_metasql
 from repro.obs import (
     DEFAULT_BUCKETS,
+    FlightRecorder,
     Histogram,
     Journal,
     MetricError,
     MetricsRegistry,
+    SloEngine,
+    SloSpec,
     Tracer,
     current_tracer,
     get_registry,
+    iter_journal,
     maybe_span,
     read_journal,
     registry_scope,
@@ -202,6 +206,29 @@ class TestHistogram:
         h.observe(20.0)
         assert h.quantile(0.99) == 20.0
 
+    def test_quantile_in_first_bucket_stays_in_observed_range(self):
+        # All observations land far below the first bound: interpolating
+        # from an imaginary 0.0 lower edge used to report values ~100x
+        # larger than anything observed.
+        h = Histogram("first_seconds", buckets=(1.0, 2.0))
+        for value in (0.001, 0.002, 0.003):
+            h.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert 0.001 <= h.quantile(q) <= 0.003
+
+    def test_quantile_first_bucket_handles_negative_observations(self):
+        h = Histogram("neg_units", buckets=(1.0,))
+        h.observe(-5.0)
+        h.observe(-3.0)
+        assert -5.0 <= h.quantile(0.5) <= -3.0
+
+    def test_quantile_single_observation_is_exact(self):
+        h = Histogram("one_seconds", buckets=(1.0, 2.0))
+        h.observe(0.25)
+        assert h.quantile(0.0) == pytest.approx(0.25)
+        assert h.quantile(0.5) == pytest.approx(0.25)
+        assert h.quantile(1.0) == pytest.approx(0.25)
+
 
 class TestRegistry:
     def test_get_or_create_deduplicates(self):
@@ -240,7 +267,12 @@ class TestRegistry:
 
 
 def _demo_registry() -> MetricsRegistry:
-    """A registry with one instrument of each kind, fixed values."""
+    """A registry with one instrument of each kind, fixed values.
+
+    Also exercises the PR-8 SLO engine and flight recorder against the
+    same registry (fixed clocks, pinned timestamps) so the golden file
+    covers the ``metasql_slo_*`` / ``metasql_recorder_*`` families.
+    """
     registry = MetricsRegistry()
     requests = registry.counter(
         "demo_requests_total", "Total demo requests.", labelnames=("outcome",)
@@ -255,6 +287,22 @@ def _demo_registry() -> MetricsRegistry:
     )
     for value in (0.25, 0.5, 0.75, 2.0):
         latency.observe(value)
+    engine = SloEngine(
+        (SloSpec("demo", indicator="degraded", objective=0.95),),
+        clock=lambda: 0.0,
+        registry=registry,
+    )
+    engine.observe({"degraded": False}, ts=1.0)
+    engine.observe({"degraded": True}, ts=2.0)  # burn 10.0: ticket fires
+    engine.observe({"degraded": True}, ts=3.0)  # burn 13.3: page still quiet
+    engine.observe({"degraded": True}, ts=4.0)  # burn 15.0: page fires
+    recorder = FlightRecorder(
+        capacity=2, clock=lambda: 5.0, registry=registry
+    )
+    recorder.consider(
+        {"tenant": "default", "faults": [{"stage": "generate"}]}
+    )
+    recorder.consider({"tenant": "default", "latency_s": 0.01})
     return registry
 
 
@@ -356,6 +404,91 @@ class TestJournal:
         assert {(r["w"], r["i"]) for r in records} == {
             (w, i) for w in range(threads) for i in range(per_thread)
         }
+
+
+class TestJournalFollow:
+    """``iter_journal(follow=True)``: bounded tail-follow semantics."""
+
+    def test_unbounded_follow_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="bound"):
+            next(iter_journal(tmp_path / "x.jsonl", follow=True))
+
+    def test_follow_yields_records_appended_between_polls(self, tmp_path):
+        path = tmp_path / "follow.jsonl"
+        journal = Journal(path, fsync=False)
+        journal.append({"event": "a"})
+        pending = iter([{"event": "b"}, {"event": "c"}])
+
+        def writer_sleep(_seconds: float) -> None:
+            record = next(pending, None)
+            if record is not None:
+                journal.append(record)
+
+        records = list(
+            iter_journal(
+                path,
+                follow=True,
+                max_records=3,
+                sleep=writer_sleep,
+                clock=TickClock(),
+            )
+        )
+        journal.close()
+        assert [r["event"] for r in records] == ["a", "b", "c"]
+
+    def test_follow_tolerates_a_missing_file(self, tmp_path):
+        path = tmp_path / "later.jsonl"
+
+        def create_on_sleep(_seconds: float) -> None:
+            with Journal(path, fsync=False) as journal:
+                journal.append({"event": "born"})
+
+        records = list(
+            iter_journal(
+                path, follow=True, max_records=1, sleep=create_on_sleep
+            )
+        )
+        assert [r["event"] for r in records] == ["born"]
+
+    def test_follow_holds_partial_lines_and_skips_corrupt_ones(
+        self, tmp_path
+    ):
+        path = tmp_path / "torn.jsonl"
+        path.write_bytes(b'{"event":"a"}\nnot json\n{"ev')
+
+        def finish_line(_seconds: float) -> None:
+            with open(path, "ab") as handle:
+                handle.write(b'ent":"b"}\n')
+
+        records = list(
+            iter_journal(
+                path, follow=True, max_records=2, sleep=finish_line
+            )
+        )
+        # The torn prefix was never yielded half-parsed: it surfaced as
+        # one whole record once its newline landed; the corrupt line was
+        # skipped as in plain replay.
+        assert [r["event"] for r in records] == ["a", "b"]
+
+    def test_follow_times_out_with_no_writer(self, tmp_path):
+        records = list(
+            iter_journal(
+                tmp_path / "never.jsonl",
+                follow=True,
+                timeout=3.0,
+                sleep=lambda _s: None,
+                clock=TickClock(),
+            )
+        )
+        assert records == []
+
+    def test_non_follow_honours_max_records(self, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        with Journal(path, fsync=False) as journal:
+            for index in range(5):
+                journal.append({"i": index})
+        records = list(iter_journal(path, max_records=2))
+        assert [r["i"] for r in records] == [0, 1]
 
 
 # ----------------------------------------------------------------------

@@ -324,3 +324,88 @@ def test_src_tree_is_clean():
 def test_tools_tree_is_clean():
     findings = repolint.lint_paths([str(REPO / "tools")])
     assert findings == [], [f.render() for f in findings]
+
+
+# ----------------------------------------------------------------------
+# metric-catalog (opt-in via --metrics-doc)
+
+
+def test_collect_metric_names_only_sees_factory_calls(tmp_path):
+    source = textwrap.dedent(
+        """
+        registry.counter("metasql_good_total", "h").inc()
+        registry.gauge("metasql_depth", "h", labelnames=("t",))
+        registry.histogram("metasql_lat_seconds", "h")
+        name = "metasql_not_a_metric"          # plain string: ignored
+        lookup = registry.get("metasql_fetched")  # not a factory: ignored
+        registry.counter(dynamic_name, "h")       # non-literal: ignored
+        """
+    )
+    (tmp_path / "mod.py").write_text(source)
+    names = repolint.collect_metric_names([str(tmp_path)])
+    assert sorted(names) == [
+        "metasql_depth",
+        "metasql_good_total",
+        "metasql_lat_seconds",
+    ]
+    path, line = names["metasql_good_total"][0]
+    assert path.endswith("mod.py") and line == 2
+
+
+def test_metric_catalog_flags_undocumented_names(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        'registry.counter("metasql_documented_total", "h")\n'
+        'registry.counter("metasql_missing_total", "h")\n'
+    )
+    doc = tmp_path / "DESIGN.md"
+    doc.write_text("| `metasql_documented_total` | counts things |\n")
+    findings = repolint.check_metric_catalog(
+        [str(tmp_path)], [str(doc)]
+    )
+    assert [f.rule for f in findings] == ["metric-catalog"]
+    assert "metasql_missing_total" in findings[0].message
+    assert findings[0].line == 2
+
+
+def test_metric_catalog_clean_when_documented(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        'registry.counter("metasql_documented_total", "h")\n'
+    )
+    doc = tmp_path / "DESIGN.md"
+    doc.write_text("`metasql_documented_total` is documented here\n")
+    assert (
+        repolint.check_metric_catalog([str(tmp_path)], [str(doc)]) == []
+    )
+
+
+def test_cli_metrics_doc_flag(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        'registry.counter("metasql_orphan_total", "h")\n'
+    )
+    doc = tmp_path / "DESIGN.md"
+    doc.write_text("no metrics here\n")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(TOOL),
+            str(tmp_path),
+            "--metrics-doc",
+            str(doc),
+            "--format",
+            "json",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "metric-catalog"
+
+
+def test_every_constructed_metric_is_catalogued():
+    findings = repolint.check_metric_catalog(
+        [str(REPO / "src")], [str(REPO / "DESIGN.md")]
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"undocumented metrics:\n{rendered}"

@@ -46,6 +46,13 @@ walks Python sources with :mod:`ast` and enforces them:
     are all flagged.  Every RNG must be seeded or injected so runs are
     reproducible.
 
+``metric-catalog``
+    Opt-in (``--metrics-doc DESIGN.md``): every ``metasql_*`` metric
+    name passed literally to a registry factory
+    (``.counter``/``.gauge``/``.histogram``) in the linted sources must
+    appear in the given catalog doc(s) — a new metric that skips the
+    catalog is silent metric drift for operators.
+
 Suppressing a finding
 ---------------------
 Put ``# repolint: allow[rule-name]`` (comma-separated list allowed) on
@@ -93,7 +100,14 @@ RULES: dict[str, str] = {
     "unseeded-random": (
         "unseeded RNG (module-level random.*, Random(), default_rng())"
     ),
+    "metric-catalog": (
+        "metasql_* metric name constructed in code but missing from the "
+        "metrics catalog doc (pass --metrics-doc)"
+    ),
 }
+
+#: Registry factory methods whose literal first argument is a metric name.
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
 
 _PRAGMA = re.compile(r"#\s*repolint:\s*allow\[([a-z\-,\s]+)\]")
 
@@ -427,6 +441,65 @@ def lint_paths(paths: list[str]) -> list[Finding]:
     return findings
 
 
+def collect_metric_names(
+    paths: list[str],
+) -> dict[str, list[tuple[str, int]]]:
+    """Every ``metasql_*`` metric name constructed under *paths*.
+
+    A metric name is the literal first argument of a
+    ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call —
+    the registry factory idiom — so ContextVar names, dict keys, and
+    other strings that merely start with ``metasql_`` are not collected.
+    Returns name -> list of ``(path, line)`` construction sites.
+    """
+    names: dict[str, list[tuple[str, int]]] = {}
+    for file in iter_python_files(paths):
+        tree = ast.parse(
+            file.read_text(encoding="utf-8"), filename=str(file)
+        )
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_FACTORIES
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value.startswith("metasql_")
+            ):
+                continue
+            names.setdefault(node.args[0].value, []).append(
+                (str(file), node.lineno)
+            )
+    return names
+
+
+def check_metric_catalog(
+    paths: list[str], docs: list[str]
+) -> list[Finding]:
+    """Findings for constructed metric names absent from every doc."""
+    catalog = ""
+    for doc in docs:
+        catalog += pathlib.Path(doc).read_text(encoding="utf-8")
+    findings = []
+    for name, sites in sorted(collect_metric_names(paths).items()):
+        if name in catalog:
+            continue
+        path, line = sites[0]
+        findings.append(
+            Finding(
+                rule="metric-catalog",
+                path=path,
+                line=line,
+                message=(
+                    f"metric {name!r} is constructed here but not "
+                    f"documented in {', '.join(docs)}"
+                ),
+            )
+        )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repolint", description=__doc__.splitlines()[0]
@@ -438,6 +511,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list rules and exit"
     )
+    parser.add_argument(
+        "--metrics-doc",
+        action="append",
+        default=[],
+        metavar="DOC",
+        help="metrics catalog doc(s); enables the metric-catalog rule "
+        "over the given source paths (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -448,6 +529,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("no paths given (or use --list)")
 
     findings = lint_paths(args.paths)
+    if args.metrics_doc:
+        findings = sorted(
+            findings + check_metric_catalog(args.paths, args.metrics_doc),
+            key=lambda f: (f.path, f.line, f.rule),
+        )
     if args.format == "json":
         print(
             json.dumps(
