@@ -26,13 +26,13 @@ in :mod:`repro.sqlkit.errors`) so low-level modules such as
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Iterator
 
+from repro.devtools.lockdep import new_lock
 from repro.sqlkit.errors import DeadlineExceeded, PipelineError, StageError
 
 #: Named injection sites, one per guarded pipeline stage.  ``fire(site)``
@@ -298,7 +298,7 @@ class CircuitBreaker:
         self.cooldown = cooldown
         self.on_transition = on_transition
         self._clock = clock if clock is not None else time.monotonic
-        self._lock = threading.Lock()
+        self._lock = new_lock("CircuitBreaker._lock")
         self._state = "closed"
         self._failures = 0  # consecutive terminal faults while closed
         self._opened_at = 0.0

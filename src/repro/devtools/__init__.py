@@ -1,0 +1,28 @@
+"""Developer-facing diagnostics that never run on the serving hot path.
+
+The first citizen is :mod:`repro.devtools.lockdep`: an opt-in runtime
+lock-order witness (the dynamic counterpart of ``tools/locklint.py``).
+Production code imports only the ``new_lock``/``new_rlock``/
+``new_condition`` factory seam, which returns plain :mod:`threading`
+primitives unless a :func:`repro.devtools.lockdep.lockdep_scope` is
+active at construction time — the disabled path adds zero per-acquire
+overhead.
+"""
+
+from repro.devtools.lockdep import (
+    LockDep,
+    LockdepViolation,
+    lockdep_scope,
+    new_condition,
+    new_lock,
+    new_rlock,
+)
+
+__all__ = [
+    "LockDep",
+    "LockdepViolation",
+    "lockdep_scope",
+    "new_condition",
+    "new_lock",
+    "new_rlock",
+]

@@ -22,13 +22,13 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import threading
 import time
 from collections import deque
 from typing import Callable
 
 import numpy as np
 
+from repro.devtools.lockdep import new_lock
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Bundle schema version (bump on breaking layout changes).
@@ -71,7 +71,7 @@ class FlightRecorder:
         self.min_latency_samples = min_latency_samples
         self._clock = clock if clock is not None else time.time
         self.registry = registry if registry is not None else get_registry()
-        self._lock = threading.Lock()
+        self._lock = new_lock("FlightRecorder._lock")
         self._entries: deque[dict] = deque()
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._evicted = 0

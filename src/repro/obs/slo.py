@@ -32,12 +32,12 @@ any layer can host an engine without cycles.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.devtools.lockdep import new_lock
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 
@@ -429,7 +429,7 @@ class SloEngine:
         self.journal = journal
         self.registry = registry if registry is not None else get_registry()
         self._max_events = max_events_per_window
-        self._lock = threading.Lock()
+        self._lock = new_lock("SloEngine._lock")
         #: (spec name, tenant slice) -> live window state.
         self._states: dict[tuple[str, str], _SpecState] = {}
         #: Every firing/resolved transition, in evaluation order.

@@ -24,11 +24,11 @@ computations are deterministic functions of their key.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Iterator
 
+from repro.devtools.lockdep import new_lock
 from repro.obs.metrics import get_registry
 
 _CACHING: ContextVar[bool] = ContextVar("perf_caching_enabled", default=True)
@@ -66,7 +66,7 @@ class LRUCache:
         self.name = name
         self.max_entries = max_entries
         self._data: dict = {}
-        self._lock = threading.Lock()
+        self._lock = new_lock("LRUCache._lock")
         self._version = 0
         self.hits = 0
         self.misses = 0

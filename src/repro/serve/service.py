@@ -58,6 +58,7 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import asdict, dataclass, field, fields
 
+from repro.devtools.lockdep import new_lock
 from repro.core.pipeline import MetaSQL, RankedResult
 from repro.core.resilience import (
     Deadline,
@@ -314,7 +315,7 @@ class TranslationService:
             self.router.on_event = self._on_router_event
         self._rng = random.Random(self.config.jitter_seed)
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_limit)
-        self._lock = threading.Lock()
+        self._lock = new_lock("TranslationService._lock")
         self._accepting = True
         self._in_flight = 0
         self._completed = 0

@@ -15,11 +15,11 @@ default tenant created by ``Router.single`` carries no quota at all).
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.devtools.lockdep import new_lock
 from repro.sqlkit.errors import ConfigError
 
 
@@ -84,7 +84,7 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock = clock if clock is not None else time.monotonic
-        self._lock = threading.Lock()
+        self._lock = new_lock("TokenBucket._lock")
         self._tokens = float(burst)  # start full: cold tenants get a burst
         self._refilled_at = self._clock()
 

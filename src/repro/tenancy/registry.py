@@ -23,12 +23,12 @@ The hot-swap correctness core lives here, in :class:`ShardGuard`:
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.devtools.lockdep import new_condition, new_lock
 from repro.sqlkit.errors import ConfigError, TenantOverloaded, UnknownTenant
 from repro.tenancy.quota import TenantQuota, TokenBucket
 
@@ -45,7 +45,7 @@ class ShardGuard:
     """Epoch/refcount guard around one tenant's pipeline shard."""
 
     def __init__(self, pipeline: object, epoch: int = 1) -> None:
-        self._cond = threading.Condition()
+        self._cond = new_condition("ShardGuard._cond")
         self._pipeline = pipeline
         self._epoch = epoch
         self._inflight: dict[int, int] = {}
@@ -129,7 +129,7 @@ class Tenant:
             if self.quota.rate is not None
             else None
         )
-        self._lock = threading.Lock()
+        self._lock = new_lock("Tenant._lock")
         self._pending = 0  # admitted requests: queued + in flight
         self._rejected = 0  # quota rejections (rate or share)
         self.swaps_ok = 0
@@ -222,7 +222,7 @@ class TenantRegistry:
 
     def __init__(self, clock: Callable[[], float] | None = None) -> None:
         self._clock = clock if clock is not None else time.monotonic
-        self._lock = threading.Lock()
+        self._lock = new_lock("TenantRegistry._lock")
         self._tenants: dict[str, Tenant] = {}
 
     def register(

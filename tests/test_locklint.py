@@ -1,0 +1,641 @@
+"""locklint: per-code unit tests, interprocedural cases, src/ gate.
+
+Mirrors ``test_repolint.py``: synthetic modules exercise each ``CCnnn``
+diagnostic plus the resolution machinery (self calls, attribute-typed
+calls, condition-wait exemptions, queue typing), then the enforcement
+gate pins the repo's own ``src/`` tree clean — the static half of the
+concurrency-correctness suite fails tier-1, not CI, when lock
+discipline regresses.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+pytestmark = pytest.mark.lint
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "locklint.py"
+
+spec = importlib.util.spec_from_file_location("locklint", TOOL)
+locklint = importlib.util.module_from_spec(spec)
+sys.modules["locklint"] = locklint  # dataclasses resolve the module by name
+spec.loader.exec_module(locklint)
+
+
+def codes_of(source: str, strict: bool = False) -> list[str]:
+    findings = locklint.lint_source(
+        textwrap.dedent(source), strict_pragmas=strict
+    )
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# CC001: lock-order cycles.
+
+
+CYCLE = """
+    import threading
+
+    class A:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.b = B()
+
+        def forward(self):
+            with self._lock:
+                self.b.leaf()
+
+        def leaf(self):
+            with self._lock:
+                pass
+
+    class B:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.a = A()
+
+        def leaf(self):
+            with self._lock:
+                pass
+
+        def backward(self):
+            with self._lock:
+                self.a.leaf()
+"""
+
+
+def test_opposite_order_across_classes_is_a_cycle():
+    assert codes_of(CYCLE) == ["CC001"]
+
+
+def test_cycle_message_names_both_locks():
+    findings = locklint.lint_source(textwrap.dedent(CYCLE))
+    assert "A._lock" in findings[0].message
+    assert "B._lock" in findings[0].message
+
+
+def test_consistent_order_is_clean():
+    source = """
+        import threading
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.b = B()
+
+            def forward(self):
+                with self._lock:
+                    self.b.leaf()
+
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def leaf(self):
+                with self._lock:
+                    pass
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# CC002: blocking while holding a lock.
+
+
+def test_sleep_under_lock_flagged():
+    source = """
+        import threading
+        import time
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def slow(self):
+                with self._lock:
+                    time.sleep(1)
+    """
+    assert codes_of(source) == ["CC002"]
+
+
+def test_blocking_reached_through_helper_flagged():
+    # The dataflow generalization: append itself looks innocent; the
+    # fsync lives two calls down.
+    source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, line):
+                with self._lock:
+                    self._write(line)
+
+            def _write(self, line):
+                self._sync()
+
+            def _sync(self):
+                os.fsync(3)
+    """
+    findings = locklint.lint_source(textwrap.dedent(source))
+    assert [f.rule for f in findings] == ["CC002"]
+    assert "os.fsync" in findings[0].message
+    assert "Log._write" in findings[0].message  # the call chain is named
+
+
+def test_blocking_outside_lock_is_clean():
+    source = """
+        import os
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def append(self, line):
+                with self._lock:
+                    self._pending.append(line)
+                os.fsync(3)
+    """
+    assert codes_of(source) == []
+
+
+def test_queue_get_under_lock_flagged():
+    source = """
+        import queue
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.jobs = queue.Queue()
+
+            def take(self):
+                with self._lock:
+                    return self.jobs.get()
+    """
+    assert codes_of(source) == ["CC002"]
+
+
+def test_nonblocking_queue_get_is_clean():
+    source = """
+        import queue
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.jobs = queue.Queue()
+
+            def take(self):
+                with self._lock:
+                    first = self.jobs.get_nowait()
+                    second = self.jobs.get(block=False)
+                    return first, second
+    """
+    assert codes_of(source) == []
+
+
+def test_dict_get_is_not_a_queue_wait():
+    source = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.items = {}
+
+            def lookup(self, key):
+                with self._lock:
+                    return self.items.get(key)
+    """
+    assert codes_of(source) == []
+
+
+def test_wait_on_own_condition_is_exempt():
+    # Waiting releases the condition you hold: that is the designed use.
+    source = """
+        import threading
+
+        class Guard:
+            def __init__(self):
+                self._cond = threading.Condition()
+
+            def drain(self):
+                with self._cond:
+                    self._cond.wait_for(lambda: True)
+    """
+    assert codes_of(source) == []
+
+
+def test_wait_while_holding_another_lock_flagged():
+    source = """
+        import threading
+
+        class Guard:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+
+            def drain(self):
+                with self._lock:
+                    with self._cond:
+                        self._cond.wait()
+    """
+    assert codes_of(source) == ["CC002"]
+
+
+# ----------------------------------------------------------------------
+# CC003: double-acquire of a non-reentrant Lock.
+
+
+def test_nested_with_same_lock_flagged():
+    source = """
+        import threading
+
+        class Bad:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def once(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+    """
+    assert codes_of(source) == ["CC003"]
+
+
+def test_reacquire_via_self_call_flagged():
+    source = """
+        import threading
+
+        class Bad:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self._inner()
+
+            def _inner(self):
+                with self._lock:
+                    pass
+    """
+    assert codes_of(source) == ["CC003"]
+
+
+def test_rlock_reacquire_is_clean():
+    source = """
+        import threading
+
+        class Fine:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def outer(self):
+                with self._lock:
+                    self._inner()
+
+            def _inner(self):
+                with self._lock:
+                    pass
+    """
+    assert codes_of(source) == []
+
+
+def test_peer_instance_same_class_not_flagged():
+    # self.peer is a *different* instance of the same class; nesting its
+    # lock under ours is a policy question, not a provable self-deadlock.
+    source = """
+        import threading
+
+        class Worker:
+            def __init__(self, peer=None):
+                self._lock = threading.Lock()
+                self.peer = peer if peer is not None else Worker()
+
+            def chain(self):
+                with self._lock:
+                    self.peer.poke()
+
+            def poke(self):
+                with self._lock:
+                    pass
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# CC004: callbacks under a lock (interprocedural lock-callback).
+
+
+def test_direct_callback_under_lock_flagged():
+    source = """
+        import threading
+
+        class Breaker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def trip(self):
+                with self._lock:
+                    self.on_transition("open")
+    """
+    assert codes_of(source) == ["CC004"]
+
+
+def test_callback_through_helper_flagged():
+    # repolint's lexical lock-callback rule cannot see this one.
+    source = """
+        import threading
+
+        class Breaker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def trip(self):
+                with self._lock:
+                    self._drain()
+
+            def _drain(self):
+                self.on_transition("open")
+    """
+    findings = locklint.lint_source(textwrap.dedent(source))
+    assert [f.rule for f in findings] == ["CC004"]
+    assert "Breaker._drain" in findings[0].message
+
+
+def test_queue_then_flush_outside_is_clean():
+    source = """
+        import threading
+
+        class Breaker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def trip(self):
+                with self._lock:
+                    self._pending.append("open")
+                self.on_transition("open")
+    """
+    assert codes_of(source) == []
+
+
+# ----------------------------------------------------------------------
+# CC005: lockdep factory name hygiene.
+
+
+def test_mismatched_lockdep_name_flagged():
+    source = """
+        from repro.devtools.lockdep import new_lock
+
+        class Service:
+            def __init__(self):
+                self._lock = new_lock("Registry._lock")
+    """
+    findings = locklint.lint_source(textwrap.dedent(source))
+    assert [f.rule for f in findings] == ["CC005"]
+    assert "Service._lock" in findings[0].message
+
+
+def test_matching_lockdep_name_is_clean():
+    source = """
+        from repro.devtools.lockdep import new_lock
+
+        class Service:
+            def __init__(self):
+                self._lock = new_lock("Service._lock")
+    """
+    assert codes_of(source) == []
+
+
+def test_factory_locks_participate_in_analysis():
+    # Seam-created locks are first-class: CC003 still fires on them.
+    source = """
+        from repro.devtools.lockdep import new_lock
+
+        class Bad:
+            def __init__(self):
+                self._lock = new_lock("Bad._lock")
+
+            def once(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+    """
+    assert codes_of(source) == ["CC003"]
+
+
+# ----------------------------------------------------------------------
+# Pragmas + CC006.
+
+
+def test_pragma_suppresses_finding():
+    source = """
+        import threading
+        import time
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def slow(self):
+                with self._lock:
+                    time.sleep(1)  # locklint: allow[CC002] — justified
+    """
+    assert codes_of(source) == []
+
+
+def test_stale_pragma_flagged_in_strict_mode():
+    source = "x = 1  # locklint: allow[CC002]\n"
+    findings = locklint.lint_source(source, strict_pragmas=True)
+    assert [f.rule for f in findings] == ["CC006"]
+    assert "stale" in findings[0].message
+
+
+def test_unknown_code_pragma_flagged_in_strict_mode():
+    source = "x = 1  # locklint: allow[CC999]\n"
+    findings = locklint.lint_source(source, strict_pragmas=True)
+    assert [f.rule for f in findings] == ["CC006"]
+    assert "unknown" in findings[0].message
+
+
+def test_useful_pragma_not_stale():
+    source = """
+        import threading
+        import time
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def slow(self):
+                with self._lock:
+                    time.sleep(1)  # locklint: allow[CC002] — justified
+    """
+    assert codes_of(source, strict=True) == []
+
+
+# ----------------------------------------------------------------------
+# Inventory.
+
+
+def test_inventory_lists_locks_sites_and_edges(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        textwrap.dedent(
+            """
+            import threading
+
+            class Outer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.inner = Inner()
+
+                def run(self):
+                    with self._lock:
+                        self.inner.leaf()
+
+            class Inner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def leaf(self):
+                    with self._lock:
+                        pass
+            """
+        )
+    )
+    inventory = locklint.build_inventory([str(tmp_path)])
+    assert set(inventory["locks"]) == {"Outer._lock", "Inner._lock"}
+    outer = inventory["locks"]["Outer._lock"]
+    assert outer["kind"] == "lock"
+    assert outer["declared"].endswith("mod.py:6")
+    assert any("Outer.run" in site for site in outer["sites"])
+    (edge,) = inventory["edges"]
+    assert edge["held"] == "Outer._lock"
+    assert edge["then"] == "Inner._lock"
+    assert edge["func"] == "Outer.run"
+    assert edge["via"] == ["Inner.leaf"]
+    assert edge["site"].endswith("mod.py:11")  # the resolving call line
+
+
+# ----------------------------------------------------------------------
+# CLI.
+
+
+def test_cli_list_codes():
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), "--list"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    for code in locklint.CODES:
+        assert code in proc.stdout
+
+
+def test_cli_clean_run(tmp_path):
+    (tmp_path / "good.py").write_text("x = 1\n")
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_json_output(tmp_path):
+    (tmp_path / "bad.py").write_text(
+        textwrap.dedent(
+            """
+            import threading
+            import time
+
+            class W:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def f(self):
+                    with self._lock:
+                        time.sleep(1)
+            """
+        )
+    )
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), str(tmp_path), "--format", "json"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "CC002"
+
+
+def test_cli_inventory_flag(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        "import threading\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), str(tmp_path), "--inventory"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "C._lock" in json.loads(proc.stdout)["locks"]
+
+
+# ----------------------------------------------------------------------
+# Enforcement: the repo's own source tree must stay clean.
+
+
+def test_src_tree_is_clean():
+    findings = locklint.lint_paths([str(REPO / "src")])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"locklint findings in src/:\n{rendered}"
+
+
+def test_src_tree_has_no_stale_locklint_pragmas():
+    findings = locklint.lint_paths(
+        [str(REPO / "src")], strict_pragmas=True
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"strict locklint findings:\n{rendered}"
+
+
+def test_src_inventory_covers_the_known_lock_set():
+    # The documented lock inventory (DESIGN.md §16).  A new lock in
+    # src/ must be added both there and here — that is the point.
+    inventory = locklint.build_inventory([str(REPO / "src")])
+    assert set(inventory["locks"]) >= {
+        "CircuitBreaker._lock",
+        "FlightRecorder._lock",
+        "Journal._lock",
+        "LRUCache._lock",
+        "MetricsRegistry._lock",
+        "ShardGuard._cond",
+        "SloEngine._lock",
+        "Tenant._lock",
+        "TenantRegistry._lock",
+        "TokenBucket._lock",
+        "TranslationService._lock",
+        "_Family._lock",
+    }
+    # The held-before graph is a DAG: cycle findings would have fired
+    # in the clean gate above; pin the known forward edges.
+    edges = {(e["held"], e["then"]) for e in inventory["edges"]}
+    assert ("SloEngine._lock", "MetricsRegistry._lock") in edges

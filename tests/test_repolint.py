@@ -409,3 +409,162 @@ def test_every_constructed_metric_is_catalogued():
     )
     rendered = "\n".join(f.render() for f in findings)
     assert findings == [], f"undocumented metrics:\n{rendered}"
+
+
+# ----------------------------------------------------------------------
+# event-catalog (opt-in via --events-doc)
+
+
+def test_collect_event_names_only_sees_dict_literals(tmp_path):
+    source = textwrap.dedent(
+        """
+        journal.append({"event": "tenant_swap", "tenant": t})
+        journal.append({"event": "translate", "ok": True})
+        kind = record.get("event")            # read, not emission
+        other = {"type": "not_an_event"}      # different key: ignored
+        dyn = {"event": name}                 # non-literal: ignored
+        """
+    )
+    (tmp_path / "mod.py").write_text(source)
+    names = repolint.collect_event_names([str(tmp_path)])
+    assert sorted(names) == ["tenant_swap", "translate"]
+    path, line = names["tenant_swap"][0]
+    assert path.endswith("mod.py") and line == 2
+
+
+def test_event_catalog_flags_undocumented_names(tmp_path):
+    (tmp_path / "mod.py").write_text(
+        'a = {"event": "documented"}\nb = {"event": "mystery"}\n'
+    )
+    doc = tmp_path / "DESIGN.md"
+    doc.write_text("| `documented` | emitted on every request |\n")
+    findings = repolint.check_event_catalog([str(tmp_path)], [str(doc)])
+    assert [f.rule for f in findings] == ["event-catalog"]
+    assert "mystery" in findings[0].message
+    assert findings[0].line == 2
+
+
+def test_event_catalog_requires_code_formatting(tmp_path):
+    # "eval" is an English word; prose mentions must not satisfy the
+    # catalog — the doc has to carry the name as code.
+    (tmp_path / "mod.py").write_text('a = {"event": "eval"}\n')
+    doc = tmp_path / "DESIGN.md"
+    doc.write_text("we evaluate things during evaluation\n")
+    findings = repolint.check_event_catalog([str(tmp_path)], [str(doc)])
+    assert [f.rule for f in findings] == ["event-catalog"]
+
+
+def test_cli_events_doc_flag(tmp_path):
+    (tmp_path / "mod.py").write_text('a = {"event": "orphan_event"}\n')
+    doc = tmp_path / "DESIGN.md"
+    doc.write_text("no events here\n")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(TOOL),
+            str(tmp_path),
+            "--events-doc",
+            str(doc),
+            "--format",
+            "json",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "event-catalog"
+
+
+def test_every_emitted_event_is_catalogued():
+    findings = repolint.check_event_catalog(
+        [str(REPO / "src")], [str(REPO / "DESIGN.md")]
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"undocumented journal events:\n{rendered}"
+
+
+# ----------------------------------------------------------------------
+# stale-pragma (opt-in via --strict-pragmas)
+
+
+def test_stale_pragma_flagged():
+    source = """
+        x = 1  # repolint: allow[wall-clock]
+    """
+    findings = repolint.lint_source(
+        textwrap.dedent(source), strict_pragmas=True
+    )
+    assert [f.rule for f in findings] == ["stale-pragma"]
+    assert "wall-clock" in findings[0].message
+
+
+def test_useful_pragma_not_stale():
+    source = """
+        import time
+        stamp = time.time()  # repolint: allow[wall-clock]
+    """
+    assert (
+        repolint.lint_source(textwrap.dedent(source), strict_pragmas=True)
+        == []
+    )
+
+
+def test_pragma_above_finding_not_stale():
+    source = """
+        import time
+        # repolint: allow[wall-clock]
+        stamp = time.time()
+    """
+    assert (
+        repolint.lint_source(textwrap.dedent(source), strict_pragmas=True)
+        == []
+    )
+
+
+def test_unknown_rule_pragma_flagged():
+    source = "x = 1  # repolint: allow[no-such-rule]\n"
+    findings = repolint.lint_source(source, strict_pragmas=True)
+    assert [f.rule for f in findings] == ["stale-pragma"]
+    assert "unknown rule" in findings[0].message
+
+
+def test_catalog_rule_pragma_always_stale():
+    # metric-catalog is doc-driven and never honours pragmas, so a
+    # pragma naming it is dead weight.
+    source = 'registry.counter("metasql_x_total", "h")  # repolint: allow[metric-catalog]\n'
+    findings = repolint.lint_source(source, strict_pragmas=True)
+    assert [f.rule for f in findings] == ["stale-pragma"]
+    assert "no effect" in findings[0].message
+
+
+def test_pragma_in_string_not_parsed():
+    # Pragma-shaped text inside a string is neither honoured as a
+    # suppression nor flagged as stale.
+    source = (
+        "import time\n"
+        'doc = "# repolint: allow[wall-clock]"\n'
+        "stamp = time.time()\n"
+    )
+    findings = repolint.lint_source(source, strict_pragmas=True)
+    assert [f.rule for f in findings] == ["wall-clock"]
+
+
+def test_cli_strict_pragmas_flag(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1  # repolint: allow[broad-except]\n")
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), str(tmp_path), "--strict-pragmas"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "stale-pragma" in proc.stdout
+
+
+def test_src_and_tools_have_no_stale_pragmas():
+    findings = repolint.lint_paths(
+        [str(REPO / "src"), str(REPO / "tools")], strict_pragmas=True
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"stale pragmas:\n{rendered}"

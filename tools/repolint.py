@@ -53,6 +53,19 @@ walks Python sources with :mod:`ast` and enforces them:
     appear in the given catalog doc(s) — a new metric that skips the
     catalog is silent metric drift for operators.
 
+``event-catalog``
+    Opt-in (``--events-doc DESIGN.md``): every journal event name — the
+    literal string value of an ``"event"`` key in a dict literal — must
+    appear in the given catalog doc(s).  Journal consumers (the replay
+    analyzer, ops dashboards) key on these strings; an undocumented
+    event is silent schema drift.
+
+``stale-pragma``
+    Opt-in (``--strict-pragmas``): an ``allow[...]`` pragma that no
+    longer suppresses any finding, or that names an unknown rule.
+    Stale pragmas hide real regressions when the code under them
+    changes.
+
 Suppressing a finding
 ---------------------
 Put ``# repolint: allow[rule-name]`` (comma-separated list allowed) on
@@ -60,11 +73,15 @@ the offending line or the line directly above it::
 
     except Exception:  # repolint: allow[broad-except] — observer isolation
 
+Only real comments count: pragma-shaped text inside strings or
+docstrings (like the example above) is ignored.
+
 Usage
 -----
 ::
 
     python tools/repolint.py src/ [more paths...] [--format text|json]
+    python tools/repolint.py src/ --strict-pragmas
     python tools/repolint.py --list
 
 Exit status is 1 when any finding is reported, 0 when clean.
@@ -74,10 +91,12 @@ from __future__ import annotations
 
 import argparse
 import ast
+import io
 import json
 import pathlib
 import re
 import sys
+import tokenize
 from dataclasses import dataclass
 
 #: rule-name -> one-line description (the ``--list`` output).
@@ -104,12 +123,29 @@ RULES: dict[str, str] = {
         "metasql_* metric name constructed in code but missing from the "
         "metrics catalog doc (pass --metrics-doc)"
     ),
+    "event-catalog": (
+        "journal event name emitted in code but missing from the "
+        "journal-event catalog doc (pass --events-doc)"
+    ),
+    "stale-pragma": (
+        "allow[...] pragma that suppresses nothing "
+        "(pass --strict-pragmas)"
+    ),
 }
 
 #: Registry factory methods whose literal first argument is a metric name.
 _METRIC_FACTORIES = {"counter", "gauge", "histogram"}
 
-_PRAGMA = re.compile(r"#\s*repolint:\s*allow\[([a-z\-,\s]+)\]")
+def pragma_pattern(tool: str) -> "re.Pattern[str]":
+    """The ``# <tool>: allow[...]`` pragma regex for one lint tool.
+
+    Shared with :mod:`locklint`, whose diagnostic codes are uppercase
+    (``CC001``), so the rule-list charset covers both naming styles.
+    """
+    return re.compile(rf"#\s*{tool}:\s*allow\[([A-Za-z0-9\-,\s]+)\]")
+
+
+_PRAGMA = pragma_pattern("repolint")
 
 #: Wall-clock callables that must never be invoked directly.
 _WALL_CLOCK_CALLS = {
@@ -156,16 +192,38 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def _pragmas(source: str) -> dict[int, set[str]]:
-    """Line number -> set of rule names allowed on that line."""
+def parse_pragmas(
+    source: str, tool: str = "repolint"
+) -> dict[int, set[str]]:
+    """Line number -> set of rule names allowed on that line.
+
+    Only *real* ``#`` comments count (found via :mod:`tokenize`), so a
+    pragma-shaped example inside a string or docstring neither
+    suppresses findings nor registers as stale under
+    ``--strict-pragmas``.
+    """
+    pattern = _PRAGMA if tool == "repolint" else pragma_pattern(tool)
     allowed: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(line)
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = pattern.search(tok.string)
         if match is None:
             continue
         rules = {part.strip() for part in match.group(1).split(",")}
-        allowed[lineno] = {rule for rule in rules if rule}
+        allowed.setdefault(tok.start[0], set()).update(
+            rule for rule in rules if rule
+        )
     return allowed
+
+
+_pragmas = parse_pragmas
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -403,19 +461,54 @@ class _Checker(ast.NodeVisitor):
                 )
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+#: Rules that are doc- or flag-driven and therefore never honour
+#: inline ``allow[...]`` pragmas; a pragma naming one is always stale.
+_PRAGMA_IMMUNE = {"metric-catalog", "event-catalog", "stale-pragma"}
+
+
+def lint_source(
+    source: str, path: str = "<string>", strict_pragmas: bool = False
+) -> list[Finding]:
     """Lint one module's source text, honouring inline pragmas."""
     tree = ast.parse(source, filename=path)
     checker = _Checker(path)
     checker.visit(tree)
     allowed = _pragmas(source)
     kept = []
+    used: set[tuple[int, str]] = set()
     for finding in checker.findings:
-        rules = allowed.get(finding.line, set()) | allowed.get(
-            finding.line - 1, set()
-        )
-        if finding.rule not in rules:
+        suppressed = False
+        for line in (finding.line, finding.line - 1):
+            if finding.rule in allowed.get(line, set()):
+                used.add((line, finding.rule))
+                suppressed = True
+        if not suppressed:
             kept.append(finding)
+    if strict_pragmas:
+        for line, rules in sorted(allowed.items()):
+            for rule in sorted(rules):
+                if (line, rule) in used:
+                    continue
+                if rule not in RULES:
+                    message = f"pragma allows unknown rule {rule!r}"
+                elif rule in _PRAGMA_IMMUNE:
+                    message = (
+                        f"allow[{rule}] has no effect; the rule is "
+                        "doc/flag-driven and ignores pragmas"
+                    )
+                else:
+                    message = (
+                        f"stale pragma: allow[{rule}] suppresses "
+                        "nothing on this line; remove it"
+                    )
+                kept.append(
+                    Finding(
+                        rule="stale-pragma",
+                        path=path,
+                        line=line,
+                        message=message,
+                    )
+                )
     return sorted(kept, key=lambda f: (f.path, f.line, f.rule))
 
 
@@ -431,12 +524,18 @@ def iter_python_files(paths: list[str]) -> list[pathlib.Path]:
     return sorted(files)
 
 
-def lint_paths(paths: list[str]) -> list[Finding]:
+def lint_paths(
+    paths: list[str], strict_pragmas: bool = False
+) -> list[Finding]:
     """Lint every ``.py`` file under *paths*."""
     findings: list[Finding] = []
     for file in iter_python_files(paths):
         findings.extend(
-            lint_source(file.read_text(encoding="utf-8"), str(file))
+            lint_source(
+                file.read_text(encoding="utf-8"),
+                str(file),
+                strict_pragmas=strict_pragmas,
+            )
         )
     return findings
 
@@ -500,6 +599,68 @@ def check_metric_catalog(
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 
+def collect_event_names(
+    paths: list[str],
+) -> dict[str, list[tuple[str, int]]]:
+    """Every journal event name emitted under *paths*.
+
+    An event name is the literal string value of an ``"event"`` key in
+    a dict literal — the ``journal.append({"event": ..., ...})`` idiom —
+    so reads like ``record.get("event")`` are not collected.
+    Returns name -> list of ``(path, line)`` emission sites.
+    """
+    names: dict[str, list[tuple[str, int]]] = {}
+    for file in iter_python_files(paths):
+        tree = ast.parse(
+            file.read_text(encoding="utf-8"), filename=str(file)
+        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "event"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    names.setdefault(value.value, []).append(
+                        (str(file), value.lineno)
+                    )
+    return names
+
+
+def check_event_catalog(
+    paths: list[str], docs: list[str]
+) -> list[Finding]:
+    """Findings for emitted event names absent from every doc.
+
+    Event names are short English words (``eval``, ``translate``), so a
+    bare substring match would trivially pass; the doc must carry the
+    name as code — ``` `name` ``` or ``"name"`` — to count.
+    """
+    catalog = ""
+    for doc in docs:
+        catalog += pathlib.Path(doc).read_text(encoding="utf-8")
+    findings = []
+    for name, sites in sorted(collect_event_names(paths).items()):
+        if f"`{name}`" in catalog or f'"{name}"' in catalog:
+            continue
+        path, line = sites[0]
+        findings.append(
+            Finding(
+                rule="event-catalog",
+                path=path,
+                line=line,
+                message=(
+                    f"journal event {name!r} is emitted here but not "
+                    f"documented in {', '.join(docs)}"
+                ),
+            )
+        )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repolint", description=__doc__.splitlines()[0]
@@ -519,6 +680,19 @@ def main(argv: list[str] | None = None) -> int:
         help="metrics catalog doc(s); enables the metric-catalog rule "
         "over the given source paths (repeatable)",
     )
+    parser.add_argument(
+        "--events-doc",
+        action="append",
+        default=[],
+        metavar="DOC",
+        help="journal-event catalog doc(s); enables the event-catalog "
+        "rule over the given source paths (repeatable)",
+    )
+    parser.add_argument(
+        "--strict-pragmas",
+        action="store_true",
+        help="flag allow[...] pragmas that no longer suppress anything",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -528,10 +702,15 @@ def main(argv: list[str] | None = None) -> int:
     if not args.paths:
         parser.error("no paths given (or use --list)")
 
-    findings = lint_paths(args.paths)
+    findings = lint_paths(args.paths, strict_pragmas=args.strict_pragmas)
     if args.metrics_doc:
         findings = sorted(
             findings + check_metric_catalog(args.paths, args.metrics_doc),
+            key=lambda f: (f.path, f.line, f.rule),
+        )
+    if args.events_doc:
+        findings = sorted(
+            findings + check_event_catalog(args.paths, args.events_doc),
             key=lambda f: (f.path, f.line, f.rule),
         )
     if args.format == "json":
