@@ -50,9 +50,11 @@ def bench_metrics():
     collected: dict[str, dict[str, float]] = {}
 
     def record(name: str, numbers: dict) -> None:
-        collected[name] = {
-            key: float(value) for key, value in sorted(numbers.items())
-        }
+        # Merge rather than replace: several benchmarks may contribute
+        # to one named suite (e.g. serve overhead + serve batching).
+        collected.setdefault(name, {}).update(
+            {key: float(value) for key, value in sorted(numbers.items())}
+        )
 
     yield record
     if collected:

@@ -1041,6 +1041,7 @@ class MetaSQL:
         self,
         requests,
         deadline: Deadline | None = None,
+        deadlines: "list[Deadline | None] | None" = None,
     ) -> list[RankedResult]:
         """Batched driver: rank many ``(question, db)`` requests.
 
@@ -1049,10 +1050,30 @@ class MetaSQL:
         then each request runs through :meth:`translate_ranked_report`;
         repeated questions, repeated candidate SQL, and shared phrase
         renderings amortize featurization across the whole batch.  Used
-        by :func:`repro.eval.evaluate.evaluate_metasql` and the
-        experiment drivers.
+        by :func:`repro.eval.evaluate.evaluate_metasql`, the experiment
+        drivers, and the serving layer's micro-batch scheduler.
+
+        *deadline* applies one shared budget to every item; *deadlines*
+        instead threads an independent per-item budget (``None`` members
+        fall back to any ambient deadline) — this is how batched serving
+        keeps each member's time budget, report, and degradation
+        behaviour exactly what it would have been served singly.
         """
         items = [(question, db) for question, db in requests]
+        if deadlines is not None:
+            deadlines = list(deadlines)
+            if deadline is not None:
+                raise ValueError(
+                    "translate_many takes deadline or deadlines, not both"
+                )
+            if len(deadlines) != len(items):
+                raise ValueError(
+                    f"deadlines must match requests one-to-one: "
+                    f"{len(deadlines)} != {len(items)}"
+                )
+            per_item = deadlines
+        else:
+            per_item = [deadline] * len(items)
         if not self._trained:
             raise PipelineStateError(
                 "MetaSQL pipeline is not trained; call train() or "
@@ -1060,8 +1081,8 @@ class MetaSQL:
             )
         self._prewarm_stage1([question for question, __ in items])
         return [
-            self.translate_ranked_report(question, db, deadline=deadline)
-            for question, db in items
+            self.translate_ranked_report(question, db, deadline=budget)
+            for (question, db), budget in zip(items, per_item)
         ]
 
     def _prewarm_stage1(self, questions: list[str]) -> None:

@@ -1,0 +1,317 @@
+"""Cross-request continuous micro-batching for the serving layer.
+
+:class:`MicroBatcher` is the scheduler half of ROADMAP item 1: a single
+daemon thread that drains the service's admission queue and regroups
+individually submitted requests into *compatibility groups* that one
+worker can rank with a single batched ``translate_many`` forward —
+turning the 10× stage-1/stage-2 amortization PR 5 proved offline into
+service throughput for live traffic.
+
+The scheduler is a classic continuous-batching loop:
+
+1. Block until one request arrives (idle costs nothing).
+2. Greedily drain whatever else is already queued, then keep collecting
+   until the **tick** (``wait_s``) elapses, the **size** threshold
+   (``max_size``) is reached, a **pre-formed group** (a ``submit_many``
+   bulk submit) arrives, or a member's **deadline** shrinks the budget
+   to zero — tightest-deadline-wins: a request whose remaining budget
+   cannot cover the tick *plus* execution headroom flushes the forming
+   batch immediately instead of waiting it out.
+3. Split the collected requests by compatibility key (the tenant — each
+   tenant owns its own shard, and the worker leases the shard's
+   ``(pipeline, epoch)`` pair exactly once per group, so a hot swap can
+   never tear a batch), chunk to ``max_size``, and hand each
+   :class:`Batch` to the worker pool.
+
+The scheduler owns no execution: faults, breakers, retries and futures
+stay with the service's workers, so an open stage breaker or an armed
+``serve.handle`` failpoint fails exactly the members it would have
+failed singly — batching changes *when* requests run, never *what*
+happens to them.
+
+Observability: every flushed batch lands in the
+``metasql_serve_batch_size`` / ``metasql_serve_batch_wait_seconds``
+histograms, ``metasql_serve_batch_flush_total{reason}`` and
+``metasql_serve_batched_requests_total{tenant}`` counters (see the
+DESIGN.md metric catalog), plus a thread-safe :meth:`stats` snapshot
+for tests and health tooling.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devtools.lockdep import new_lock
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.sqlkit.errors import ConfigError
+
+#: Histogram buckets for requests-per-batch (sizes, not seconds).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
+#: Every reason a forming batch can flush with (documented in §17).
+FLUSH_REASONS: tuple[str, ...] = (
+    "size", "tick", "deadline", "preformed", "shutdown",
+)
+
+
+class PreformedGroup:
+    """A bulk-submitted group routed around the tick wait.
+
+    ``TranslationService.submit_many`` (batching on) admits the whole
+    group, wraps it in one of these, and enqueues it as a single
+    admission-queue item: the scheduler flushes it — merged with any
+    already-forming batch — immediately, with ``reason="preformed"``,
+    instead of re-discovering the batch one tick at a time.
+    """
+
+    __slots__ = ("jobs",)
+
+    def __init__(self, jobs: list) -> None:
+        self.jobs = list(jobs)
+
+
+@dataclass
+class Batch:
+    """One compatibility group the scheduler hands to a worker.
+
+    Every member shares the compatibility key (``tenant_id``), so the
+    worker leases that tenant's shard once for the whole group and all
+    members run on one atomically captured ``(pipeline, epoch)`` pair.
+    """
+
+    jobs: list = field(default_factory=list)
+    tenant_id: str = ""
+    #: Why the batch flushed: one of :data:`FLUSH_REASONS`.
+    reason: str = "tick"
+    #: Seconds between the first member's arrival and the flush.
+    wait_s: float = 0.0
+
+
+class MicroBatcher:
+    """Continuous micro-batching scheduler over an admission queue.
+
+    Parameters are deliberately duck-typed so the scheduler stays
+    testable without a full service: *source* is any ``queue.Queue``
+    yielding jobs (objects with ``deadline`` and ``future`` attributes),
+    the *sentinel*, or :class:`PreformedGroup` wrappers; *dispatch*
+    receives each formed :class:`Batch`; *group_key* maps a job to its
+    compatibility key; *on_shutdown* runs once after the sentinel is
+    observed (the service uses it to forward per-worker shutdown
+    sentinels to the batch queue).
+    """
+
+    def __init__(
+        self,
+        source: "queue.Queue",
+        dispatch: Callable[[Batch], None],
+        *,
+        wait_s: float,
+        max_size: int,
+        group_key: Callable[[object], str],
+        sentinel: object,
+        on_shutdown: Callable[[], None] | None = None,
+        on_error: Callable[[list, BaseException], None] | None = None,
+        clock: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if wait_s < 0:
+            raise ConfigError(f"batch wait must be >= 0 s, got {wait_s!r}")
+        if max_size < 1:
+            raise ConfigError(f"max batch size must be >= 1, got {max_size!r}")
+        self._source = source
+        self._dispatch = dispatch
+        self._wait_s = float(wait_s)
+        self._max_size = int(max_size)
+        self._group_key = group_key
+        self._sentinel = sentinel
+        self._on_shutdown = on_shutdown
+        self._on_error = on_error
+        self._clock = clock if clock is not None else time.monotonic
+        registry = registry if registry is not None else get_registry()
+        self._m_batch_size = registry.histogram(
+            "metasql_serve_batch_size",
+            "Members per flushed micro-batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._m_batch_wait = registry.histogram(
+            "metasql_serve_batch_wait_seconds",
+            "Seconds a forming micro-batch waited before flushing.",
+        )
+        self._m_flushes = registry.counter(
+            "metasql_serve_batch_flush_total",
+            "Flushed micro-batches by flush reason.",
+            labelnames=("reason",),
+        )
+        self._m_batched = registry.counter(
+            "metasql_serve_batched_requests_total",
+            "Requests dispatched through the micro-batcher, by tenant.",
+            labelnames=("tenant",),
+        )
+        self._lock = new_lock("MicroBatcher._lock")
+        self._flush_reasons: dict[str, int] = {}
+        self._batches = 0
+        self._requests = 0
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="metasql-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the scheduler thread to exit (after the sentinel)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stats(self) -> dict:
+        """Thread-safe scheduler counters (tests/health tooling)."""
+        with self._lock:
+            return {
+                "batches": self._batches,
+                "requests": self._requests,
+                "flush_reasons": dict(sorted(self._flush_reasons.items())),
+            }
+
+    # ------------------------------------------------------------------
+    # The scheduler loop.
+
+    def _loop(self) -> None:
+        while True:
+            item = self._source.get()
+            if item is self._sentinel:
+                self._finish_shutdown()
+                return
+            if isinstance(item, PreformedGroup):
+                self._flush_safely(item.jobs, "preformed", 0.0)
+                continue
+            if not self._collect_and_flush(item):
+                return
+
+    def _collect_and_flush(self, first) -> bool:
+        """Form one batch starting from *first*; False ends the loop."""
+        pending = [first]
+        started = self._clock()
+        cutoff = self._shrink(started + self._wait_s, first, started)
+        reason: str | None = None
+        while len(pending) < self._max_size:
+            try:
+                # Greedy drain: anything already queued joins for free.
+                nxt = self._source.get_nowait()
+            except queue.Empty:
+                now = self._clock()
+                if now >= cutoff:
+                    reason = self._cutoff_reason(cutoff, started)
+                    break
+                try:
+                    nxt = self._source.get(timeout=cutoff - now)
+                except queue.Empty:
+                    reason = self._cutoff_reason(cutoff, started)
+                    break
+            if nxt is self._sentinel:
+                self._flush_safely(
+                    pending, "shutdown", self._clock() - started
+                )
+                self._finish_shutdown()
+                return False
+            if isinstance(nxt, PreformedGroup):
+                pending.extend(nxt.jobs)
+                reason = "preformed"
+                break
+            pending.append(nxt)
+            cutoff = self._shrink(cutoff, nxt, self._clock())
+        self._flush_safely(
+            pending, reason or "size", self._clock() - started
+        )
+        return True
+
+    def _shrink(self, cutoff: float, job, now: float) -> float:
+        """Tightest-deadline-wins: shrink the tick for urgent members.
+
+        A member needs its remaining budget for *execution*, not for
+        sitting in a forming batch: with ``remaining >= 2 * wait_s``
+        the full tick is affordable; below that the wait shrinks
+        linearly, and a member that cannot survive the tick at all
+        (``remaining <= wait_s``) flushes immediately.
+        """
+        deadline = getattr(job, "deadline", None)
+        if deadline is None:
+            return cutoff
+        remaining = deadline.remaining()
+        if not math.isfinite(remaining):
+            return cutoff
+        affordable = max(0.0, min(self._wait_s, remaining - self._wait_s))
+        return min(cutoff, now + affordable)
+
+    def _cutoff_reason(self, cutoff: float, started: float) -> str:
+        return "deadline" if cutoff < started + self._wait_s else "tick"
+
+    def _finish_shutdown(self) -> None:
+        if self._on_shutdown is not None:
+            self._on_shutdown()
+
+    # ------------------------------------------------------------------
+    # Flushing.
+
+    def _flush_safely(
+        self, pending: list, reason: str, wait_s: float
+    ) -> None:
+        """Flush, never letting a dispatch failure kill the scheduler."""
+        if not pending:
+            return
+        try:
+            self._flush(pending, reason, wait_s)
+        except Exception as exc:  # repolint: allow[broad-except] — fail members, keep scheduling
+            if self._on_error is not None:
+                self._on_error(pending, exc)
+            else:
+                for job in pending:
+                    future = getattr(job, "future", None)
+                    if future is not None and not future.done():
+                        future.set_exception(exc)
+
+    def _flush(self, pending: list, reason: str, wait_s: float) -> None:
+        """Group by compatibility key, chunk to max size, dispatch."""
+        wait_s = max(0.0, wait_s)
+        groups: dict[str, list] = {}
+        for job in pending:
+            groups.setdefault(self._group_key(job), []).append(job)
+        for tenant_id, jobs in groups.items():
+            for index in range(0, len(jobs), self._max_size):
+                chunk = jobs[index : index + self._max_size]
+                self._record(tenant_id, len(chunk), reason, wait_s)
+                self._dispatch(
+                    Batch(
+                        jobs=chunk,
+                        tenant_id=tenant_id,
+                        reason=reason,
+                        wait_s=wait_s,
+                    )
+                )
+
+    def _record(
+        self, tenant_id: str, size: int, reason: str, wait_s: float
+    ) -> None:
+        self._m_batch_size.observe(size)
+        self._m_batch_wait.observe(wait_s)
+        self._m_flushes.labels(reason=reason).inc()
+        self._m_batched.labels(tenant=tenant_id).inc(size)
+        with self._lock:
+            self._batches += 1
+            self._requests += size
+            self._flush_reasons[reason] = (
+                self._flush_reasons.get(reason, 0) + 1
+            )

@@ -107,6 +107,21 @@ class Router:
         with tenant.shard.acquire() as lease:
             yield lease
 
+    @contextmanager
+    def lease_group(
+        self, tenant_id: str | None, size: int
+    ) -> Iterator[ShardLease]:
+        """Lease the tenant's shard once for a *size*-member batch.
+
+        The group shares one atomically captured ``(pipeline, epoch)``
+        pair — a hot swap never tears a batch across epochs — while the
+        epoch's in-flight refcount covers every member, so
+        :meth:`swap`'s drain still waits for all of them.
+        """
+        tenant = self.resolve(tenant_id)
+        with tenant.shard.acquire(count=size) as lease:
+            yield lease
+
     @property
     def default_pipeline(self) -> object | None:
         """The default tenant's current shard, when one exists."""

@@ -1,0 +1,600 @@
+"""Continuous micro-batching tests: scheduler, correctness, isolation.
+
+The invariant under test everywhere: batching changes *when* requests
+run, never *what* happens to them.  Batched ranked SQL is bit-identical
+to sequential, a tight deadline bypasses the tick, a mid-batch hot swap
+never tears a group across epochs, and an armed ``serve.handle``
+failpoint fails exactly the members it would have failed singly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import MetaSQL, RankedResult, RankedTranslation
+from repro.core.resilience import (
+    FAULTS,
+    Deadline,
+    FaultRecord,
+    InjectedFault,
+    TranslationReport,
+    current_deadline,
+)
+from repro.devtools.lockdep import lockdep_scope
+from repro.obs.journal import read_journal
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ServiceConfig, TranslationService
+from repro.serve.batcher import (
+    BATCH_SIZE_BUCKETS,
+    Batch,
+    MicroBatcher,
+    PreformedGroup,
+)
+from repro.sqlkit.errors import ConfigError, Overloaded
+from repro.sqlkit.parser import parse_sql
+from repro.sqlkit.printer import to_sql
+from repro.tenancy import TenantQuota
+from repro.tenancy.router import Router
+
+pytestmark = [pytest.mark.robustness, pytest.mark.serve]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    FAULTS.disarm()
+
+
+def _ranked(sql: str = "SELECT name FROM country") -> RankedTranslation:
+    return RankedTranslation(
+        query=parse_sql(sql), stage1_score=1.0, stage2_score=1.0, metadata=None
+    )
+
+
+def _ok(question: str) -> RankedResult:
+    return RankedResult([_ranked()], TranslationReport(question=question))
+
+
+class BatchStub:
+    """Duck-typed shard that records batched vs single call shapes."""
+
+    breakers = None
+    _trained = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.batch_sizes: list[int] = []
+        self.single_calls = 0
+        self.seen_deadlines: list[Deadline | None] = []
+
+    def translate_ranked_report(self, question, db, compositions=None):
+        with self._lock:
+            self.single_calls += 1
+            self.seen_deadlines.append(current_deadline())
+        return _ok(question)
+
+    def translate_many(self, requests, deadline=None, deadlines=None):
+        items = list(requests)
+        with self._lock:
+            self.batch_sizes.append(len(items))
+        return [_ok(question) for question, _db in items]
+
+
+class SingleOnlyStub:
+    """A shard without ``translate_many`` (member-isolation fallback)."""
+
+    breakers = None
+    _trained = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def translate_ranked_report(self, question, db, compositions=None):
+        with self._lock:
+            self.calls += 1
+        return _ok(question)
+
+
+class GatedBatchStub(BatchStub):
+    """Batched stub that parks inside ``translate_many`` on a gate."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def translate_many(self, requests, deadline=None, deadlines=None):
+        self.entered.set()
+        assert self.gate.wait(10), "test gate never opened"
+        return super().translate_many(requests, deadline, deadlines)
+
+
+class TransientOnceStub(BatchStub):
+    """Batched path returns transient-fault empties; singles succeed.
+
+    Exercises the batched-first-attempt → single-retry settling path.
+    """
+
+    def translate_many(self, requests, deadline=None, deadlines=None):
+        items = list(requests)
+        with self._lock:
+            self.batch_sizes.append(len(items))
+        results = []
+        for question, _db in items:
+            report = TranslationReport(question=question)
+            report.record(
+                FaultRecord(
+                    stage="generate",
+                    error_type="TransientError",
+                    error="injected by TransientOnceStub",
+                    fallback="empty",
+                    transient=True,
+                )
+            )
+            results.append(RankedResult([], report))
+        return results
+
+
+def _service(stub, **knobs) -> TranslationService:
+    defaults = dict(
+        workers=2, queue_limit=256, batching=True, batch_wait_ms=10,
+        max_batch_size=8, jitter_seed=7,
+    )
+    defaults.update(knobs)
+    return TranslationService(
+        stub, ServiceConfig(**defaults),
+        registry=MetricsRegistry(), sleep=lambda _s: None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Config + scheduler unit behaviour.
+
+
+class TestConfigAndScheduler:
+    def test_batching_knobs_validated(self):
+        with pytest.raises(ConfigError, match="batch wait"):
+            ServiceConfig(batch_wait_ms=-1)
+        with pytest.raises(ConfigError, match="max batch size"):
+            ServiceConfig(max_batch_size=0)
+        with pytest.raises(ConfigError, match="batch wait"):
+            MicroBatcher(
+                queue.Queue(), lambda b: None, wait_s=-0.1, max_size=4,
+                group_key=lambda j: "t", sentinel=object(),
+                registry=MetricsRegistry(),
+            )
+
+    def test_scheduler_groups_by_key_and_chunks_to_max_size(self):
+        """One flush splits per-tenant, order-preserving, max_size chunks."""
+        source: queue.Queue = queue.Queue()
+        batches: list[Batch] = []
+        done = threading.Event()
+        stop = object()
+
+        class J:
+            def __init__(self, tenant, name):
+                self.tenant_id = tenant
+                self.name = name
+                self.deadline = None
+                self.future = None
+
+        jobs = [J("a", f"a{i}") for i in range(5)] + [J("b", "b0")]
+        batcher = MicroBatcher(
+            source, batches.append, wait_s=10.0, max_size=2,
+            group_key=lambda j: j.tenant_id, sentinel=stop,
+            on_shutdown=done.set, registry=MetricsRegistry(),
+        )
+        batcher.start()
+        source.put(PreformedGroup(jobs))
+        source.put(stop)
+        assert done.wait(10)
+        batcher.join(10)
+        assert [(b.tenant_id, len(b.jobs)) for b in batches] == [
+            ("a", 2), ("a", 2), ("a", 1), ("b", 1),
+        ]
+        assert all(b.reason == "preformed" for b in batches)
+        # Order inside a tenant is submission order.
+        assert [j.name for j in batches[0].jobs] == ["a0", "a1"]
+        stats = batcher.stats()
+        assert stats["requests"] == 6
+        assert stats["flush_reasons"] == {"preformed": 4}
+
+    def test_size_threshold_flushes_without_waiting_out_the_tick(self):
+        stub = BatchStub()
+        with _service(stub, workers=1, batch_wait_ms=60_000,
+                      max_batch_size=4) as service:
+            futures = [service.submit(f"q{i}", None) for i in range(4)]
+            for future in futures:
+                assert future.result(timeout=10).translations
+        assert 4 in stub.batch_sizes
+        assert "size" in service._batcher.stats()["flush_reasons"]
+
+    def test_shutdown_flushes_the_forming_batch(self):
+        """Requests parked in a forming batch drain on shutdown."""
+        stub = BatchStub()
+        service = _service(stub, workers=1, batch_wait_ms=60_000,
+                           max_batch_size=64)
+        future = service.submit("parked", None)
+        service.shutdown(wait=True)
+        assert future.result(timeout=10).translations
+        assert service._batcher.stats()["flush_reasons"] == {"shutdown": 1}
+
+
+# ----------------------------------------------------------------------
+# Deadline policy.
+
+
+class TestDeadlinePolicy:
+    def test_tight_deadline_bypasses_the_tick(self):
+        """A member that cannot survive the tick flushes immediately."""
+        stub = BatchStub()
+        started = time.monotonic()
+        with _service(stub, workers=1, batch_wait_ms=30_000) as service:
+            result = service.translate(
+                "urgent", None, deadline=0.05, timeout=10
+            )
+        elapsed = time.monotonic() - started
+        assert result.translations
+        assert elapsed < 5.0, f"tick was not bypassed ({elapsed:.1f}s)"
+        assert "deadline" in service._batcher.stats()["flush_reasons"]
+
+    def test_translate_many_threads_per_item_deadlines(self):
+        stub = BatchStub()
+        tight = Deadline(0.05)
+        with _service(stub, workers=1, batch_wait_ms=30_000,
+                      max_batch_size=2) as service:
+            futures = [
+                service.submit("relaxed", None),
+                service.submit("urgent", None, deadline=tight),
+            ]
+            for future in futures:
+                assert future.result(timeout=10).translations
+        # Both members rode one batch; the stub received the batched
+        # call (deadlines threaded via translate_many, not ambient).
+        assert stub.batch_sizes == [2]
+
+    def test_translate_many_rejects_bad_deadline_combinations(self):
+        from repro.models.registry import create_model
+
+        pipeline = MetaSQL(create_model("lgesql"))
+        with pytest.raises(ValueError, match="not both"):
+            pipeline.translate_many(
+                [("q", None)], deadline=Deadline(1), deadlines=[None]
+            )
+        with pytest.raises(ValueError, match="one-to-one"):
+            pipeline.translate_many([("q", None)], deadlines=[None, None])
+
+
+# ----------------------------------------------------------------------
+# Batched == sequential (the core correctness claim).
+
+
+class TestBitIdentical:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        workload=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.sampled_from(["alpha", "beta"]),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_batched_ranked_sql_matches_sequential(
+        self, workload, trained_pipeline, tiny_benchmark
+    ):
+        """Mixed-tenant batched serving returns bit-identical ranked SQL.
+
+        Reference answers come from direct sequential
+        ``translate_ranked_report`` calls on the same pipeline; the
+        batched service must reproduce every member's full ranked list
+        exactly, whatever grouping the scheduler happens to pick.
+        """
+        examples = tiny_benchmark.dev.examples[:6]
+        reference: dict[int, list[str]] = {}
+        for index in {i for i, _t in workload}:
+            example = examples[index]
+            db = tiny_benchmark.dev.database(example.db_id)
+            result = trained_pipeline.translate_ranked_report(
+                example.question, db
+            )
+            reference[index] = [
+                to_sql(t.query) for t in result.translations
+            ]
+        router = Router()
+        router.register("alpha", trained_pipeline)
+        router.register("beta", trained_pipeline)
+        config = ServiceConfig(
+            workers=2, queue_limit=256, batching=True,
+            batch_wait_ms=20, max_batch_size=4, max_retries=0,
+        )
+        with TranslationService(
+            router, config, registry=MetricsRegistry()
+        ) as service:
+            futures = [
+                (
+                    index,
+                    service.submit(
+                        examples[index].question,
+                        tiny_benchmark.dev.database(examples[index].db_id),
+                        tenant=tenant,
+                    ),
+                )
+                for index, tenant in workload
+            ]
+            for index, future in futures:
+                ranked = future.result(timeout=60)
+                assert [
+                    to_sql(t.query) for t in ranked.translations
+                ] == reference[index]
+
+    def test_batching_off_is_the_pre_batching_service(self):
+        """batching=False never constructs a scheduler or batch queue."""
+        stub = BatchStub()
+        with TranslationService(
+            stub, ServiceConfig(workers=2, batching=False),
+            registry=MetricsRegistry(),
+        ) as service:
+            assert service._batcher is None
+            assert service._batches is None
+            for _ in range(4):
+                assert service.translate("q", None, timeout=10).translations
+        assert stub.batch_sizes == []
+        assert stub.single_calls == 4
+        rendered = service.metrics()
+        assert "metasql_serve_batch" not in rendered
+
+
+# ----------------------------------------------------------------------
+# Tenancy: pre-formed groups, quotas, hot swap.
+
+
+class TestTenancyInteraction:
+    def test_submit_many_is_one_preformed_group(self):
+        stub = BatchStub()
+        with _service(stub, workers=1, batch_wait_ms=60_000,
+                      max_batch_size=16) as service:
+            futures = service.submit_many([(f"q{i}", None) for i in range(5)])
+            for future in futures:
+                assert future.result(timeout=10).translations
+        assert stub.batch_sizes == [5]
+        assert service._batcher.stats()["flush_reasons"] == {"preformed": 1}
+
+    def test_submit_many_rejection_is_all_or_nothing(self):
+        stub = BatchStub()
+        with _service(stub, queue_limit=4) as service:
+            with pytest.raises(Overloaded):
+                service.submit_many([(f"q{i}", None) for i in range(5)])
+            assert service.health().rejected == 1
+            # Quota fully released: the same group admits once it fits.
+            futures = service.submit_many(
+                [(f"q{i}", None) for i in range(4)]
+            )
+            for future in futures:
+                assert future.result(timeout=10).translations
+
+    def test_submit_many_quota_rejection_releases_every_member(self):
+        stub = BatchStub()
+        router = Router()
+        tenant = router.register(
+            "alpha", stub, quota=TenantQuota(max_share=3)
+        )
+        config = ServiceConfig(
+            workers=1, queue_limit=256, batching=True,
+            batch_wait_ms=60_000, max_batch_size=16,
+        )
+        with TranslationService(
+            router, config, registry=MetricsRegistry()
+        ) as service:
+            with pytest.raises(Exception, match="alpha"):
+                service.submit_many(
+                    [(f"q{i}", None) for i in range(4)], tenant="alpha"
+                )
+            assert tenant.pending == 0
+            futures = service.submit_many(
+                [(f"q{i}", None) for i in range(3)], tenant="alpha"
+            )
+            for future in futures:
+                assert future.result(timeout=10).translations
+
+    def test_mid_batch_hot_swap_never_tears_the_group(self, tmp_path):
+        """All members of a batch run on one epoch across a live swap."""
+        old = GatedBatchStub()
+        new = BatchStub()
+        journal_path = tmp_path / "swap.jsonl"
+        config = ServiceConfig(
+            workers=1, queue_limit=256, batching=True,
+            batch_wait_ms=60_000, max_batch_size=16,
+            journal_path=journal_path,
+        )
+        service = TranslationService(
+            old, config, registry=MetricsRegistry()
+        )
+        futures = service.submit_many([(f"q{i}", None) for i in range(3)])
+        assert old.entered.wait(10), "batch never reached the old shard"
+        # The swap lands while the batch is mid-flight on the old lease.
+        swapped_epoch = service.swap(new)
+        old.gate.set()
+        for future in futures:
+            assert future.result(timeout=10).translations
+        # A tight deadline bypasses the (deliberately huge) tick.
+        late = service.translate(
+            "after-swap", None, deadline=0.05, timeout=10
+        )
+        assert late.translations
+        service.shutdown()
+        records = read_journal(journal_path)
+        batched = [
+            r for r in records
+            if r["event"] == "translate" and r["question"].startswith("q")
+        ]
+        epochs = {r["shard_epoch"] for r in batched}
+        assert len(batched) == 3
+        assert len(epochs) == 1, f"swap tore the batch: {epochs}"
+        assert epochs.pop() < swapped_epoch
+        after = [
+            r for r in records
+            if r["event"] == "translate" and r["question"] == "after-swap"
+        ]
+        assert after[0]["shard_epoch"] == swapped_epoch
+        assert old.batch_sizes == [3]
+        assert new.batch_sizes == [] and new.single_calls == 1
+
+
+# ----------------------------------------------------------------------
+# Fault isolation inside a batch.
+
+
+class TestFaultIsolation:
+    def test_armed_failpoint_fails_only_its_members(self):
+        """One batch carries failures and successes side by side."""
+        stub = BatchStub()
+        with _service(stub, workers=1, batch_wait_ms=60_000,
+                      max_batch_size=16, max_retries=0) as service:
+            FAULTS.arm("serve.handle", times=3)
+            futures = service.submit_many(
+                [(f"q{i}", None) for i in range(10)]
+            )
+            outcomes = {"ok": 0, "fault": 0}
+            for future in futures:
+                try:
+                    assert future.result(timeout=10).translations
+                    outcomes["ok"] += 1
+                except InjectedFault:
+                    outcomes["fault"] += 1
+        assert outcomes == {"ok": 7, "fault": 3}
+        health = service.health()
+        assert health.completed == 7
+        assert health.failed == 3
+        assert health.in_flight == 0
+        # The survivors still rode one batched forward together.
+        assert stub.batch_sizes == [7]
+
+    def test_member_isolation_without_translate_many(self):
+        """A shard without the batched API still serves whole batches."""
+        stub = SingleOnlyStub()
+        with _service(stub, workers=1, batch_wait_ms=60_000,
+                      max_batch_size=16) as service:
+            futures = service.submit_many([(f"q{i}", None) for i in range(6)])
+            for future in futures:
+                assert future.result(timeout=10).translations
+        assert stub.calls == 6
+        assert service._batcher.stats()["requests"] == 6
+
+    def test_batched_transient_faults_retry_singly(self):
+        """Batched empties with transient faults settle via the retry path."""
+        stub = TransientOnceStub()
+        with _service(stub, workers=1, batch_wait_ms=60_000,
+                      max_batch_size=4, max_retries=1) as service:
+            futures = service.submit_many([(f"q{i}", None) for i in range(3)])
+            for future in futures:
+                assert future.result(timeout=10).translations
+        assert stub.batch_sizes == [3]  # one batched first attempt
+        assert stub.single_calls == 3  # one single retry per member
+        assert service.health().retried == 3
+
+
+# ----------------------------------------------------------------------
+# Observability of the batching layer.
+
+
+class TestBatchObservability:
+    def test_metrics_journal_and_annotations(self, tmp_path):
+        journal_path = tmp_path / "batching.jsonl"
+        stub = BatchStub()
+        with _service(stub, workers=1, batch_wait_ms=60_000,
+                      max_batch_size=8,
+                      journal_path=journal_path) as service:
+            futures = service.submit_many([(f"q{i}", None) for i in range(5)])
+            for future in futures:
+                assert future.result(timeout=10).translations
+            rendered = service.metrics()
+        service.shutdown()
+        assert 'metasql_serve_batch_size_bucket{le="8"} 1' in rendered
+        assert "metasql_serve_batch_wait_seconds_count 1" in rendered
+        assert (
+            'metasql_serve_batch_flush_total{reason="preformed"} 1'
+            in rendered
+        )
+        assert (
+            'metasql_serve_batched_requests_total{tenant="default"} 5'
+            in rendered
+        )
+        records = read_journal(journal_path)
+        flushes = [r for r in records if r["event"] == "batch_flush"]
+        assert len(flushes) == 1
+        flush = flushes[0]
+        assert flush["tenant"] == "default"
+        assert flush["size"] == 5
+        assert flush["reason"] == "preformed"
+        assert flush["wait_s"] >= 0.0
+        assert isinstance(flush["shard_epoch"], int)
+        translates = [r for r in records if r["event"] == "translate"]
+        assert {r["batch_size"] for r in translates} == {5}
+
+    def test_batch_size_buckets_cover_the_knob_range(self):
+        assert BATCH_SIZE_BUCKETS[0] == 1.0
+        assert BATCH_SIZE_BUCKETS[-1] >= 256
+
+
+# ----------------------------------------------------------------------
+# Lockdep witness: the scheduler lock under instrumented chaos.
+
+
+@pytest.mark.concurrency
+class TestSchedulerLockWitness:
+    def test_batching_hammer_reports_zero_inversions(self):
+        """Scheduler + workers + swap under full lockdep instrumentation."""
+        with lockdep_scope() as dep:
+            stub = BatchStub()
+            config = ServiceConfig(
+                workers=4, queue_limit=512, batching=True,
+                batch_wait_ms=2, max_batch_size=8, max_retries=0,
+            )
+            futures = []
+            futures_lock = threading.Lock()
+            with TranslationService(
+                stub, config, registry=MetricsRegistry()
+            ) as service:
+
+                def hammer(prefix: str) -> None:
+                    for index in range(40):
+                        try:
+                            future = service.submit(
+                                f"{prefix}{index}", None
+                            )
+                        except Overloaded:
+                            continue
+                        with futures_lock:
+                            futures.append(future)
+
+                pool = [
+                    threading.Thread(target=hammer, args=(f"t{i}-",))
+                    for i in range(4)
+                ]
+                for thread in pool:
+                    thread.start()
+                service.swap(BatchStub())
+                for thread in pool:
+                    thread.join(timeout=30)
+                for future in futures:
+                    assert future.result(timeout=30).translations
+            dep.assert_clean()
+            assert dep.acquisitions > 0
+            assert {
+                "MicroBatcher._lock",
+                "TranslationService._lock",
+                "ShardGuard._cond",
+            } <= dep.seen
